@@ -1,0 +1,133 @@
+"""E11 -- Extension: where the regulator sits (per-master vs aggregate).
+
+On the real SoC all FPGA masters funnel through a shared HP port into
+the PS.  A single *aggregate* regulator at that port bounds the total
+accelerator bandwidth -- enough to protect the CPU -- but provides no
+isolation *among* accelerators: a misbehaving DMA with deep
+outstanding queues eats the aggregate budget and starves its
+well-behaved fabric neighbours.  The paper's per-master IPs at the
+fabric ports give both properties at the same total budget.
+
+Topology: 1 critical CPU at the PS level; 3 well-behaved accelerators
+(50% DMA duty) + 1 always-on hog behind the shared HP port.  Total
+accelerator budget 40% of peak in both placements.
+"""
+
+from __future__ import annotations
+
+from repro.regulation.factory import RegulatorSpec
+from repro.soc.hierarchy import TwoLevelConfig, TwoLevelPlatform
+from repro.soc.platform import MasterSpec
+
+from benchmarks.common import report
+
+MB = 1 << 20
+PEAK = 16.0
+TOTAL_SHARE = 0.40
+WINDOW = 1024
+HORIZON = 600_000
+WELL_BEHAVED = ("acc0", "acc1", "acc2")
+HOG = "acc3"
+
+
+def _accels(per_master_regulator):
+    specs = []
+    for index, name in enumerate(WELL_BEHAVED):
+        specs.append(
+            MasterSpec(
+                name=name, workload="matmul_stream",
+                region_base=0x2000_0000 + index * 4 * MB,
+                region_extent=4 * MB,
+                max_outstanding=4,
+                regulator=per_master_regulator,
+            )
+        )
+    specs.append(
+        MasterSpec(
+            name=HOG, workload="stream_read",
+            region_base=0x2000_0000 + 3 * 4 * MB, region_extent=4 * MB,
+            max_outstanding=16,
+            regulator=per_master_regulator,
+        )
+    )
+    return tuple(specs)
+
+
+def _cpu():
+    return MasterSpec(
+        name="cpu0", workload="latency_probe",
+        region_base=0x1000_0000, region_extent=4 * MB,
+        work=3_000, max_outstanding=4, critical=True,
+    )
+
+
+def _run(per_master_regulator, bridge_regulator):
+    config = TwoLevelConfig(
+        cpus=(_cpu(),),
+        accels=_accels(per_master_regulator),
+        bridge_regulator=bridge_regulator,
+        bridge_outstanding=16,
+    )
+    platform = TwoLevelPlatform(config)
+    platform.run(HORIZON, stop_when_critical_done=False)
+    rates = {
+        name: platform.ports[name].stats.counter("bytes").value / HORIZON
+        for name in WELL_BEHAVED + (HOG,)
+    }
+    return {
+        "min_wb_B_cyc": min(rates[n] for n in WELL_BEHAVED),
+        "hog_B_cyc": rates[HOG],
+        "total_B_cyc": sum(rates.values()),
+        "critical_runtime": platform.masters["cpu0"].finished_at,
+    }
+
+
+def run_e11():
+    rows = []
+    aggregate_spec = RegulatorSpec(
+        kind="tightly_coupled",
+        window_cycles=WINDOW,
+        budget_bytes=round(TOTAL_SHARE * PEAK * WINDOW),
+    )
+    row = _run(None, aggregate_spec)
+    row["placement"] = "aggregate@hp0"
+    rows.append(row)
+
+    per_master_spec = RegulatorSpec(
+        kind="tightly_coupled",
+        window_cycles=WINDOW,
+        budget_bytes=round(TOTAL_SHARE / 4 * PEAK * WINDOW),
+    )
+    row = _run(per_master_spec, None)
+    row["placement"] = "per-master@fabric"
+    rows.append(row)
+    return rows
+
+
+def test_e11_regulation_placement(benchmark):
+    rows = benchmark.pedantic(run_e11, rounds=1, iterations=1)
+    report(
+        "e11_placement",
+        rows,
+        "E11: regulation placement at equal total budget "
+        f"({TOTAL_SHARE:.0%} of peak across 4 accelerators; hog has 4x "
+        "the outstanding depth of its neighbours)",
+        columns=[
+            "placement", "min_wb_B_cyc", "hog_B_cyc", "total_B_cyc",
+            "critical_runtime",
+        ],
+    )
+    by_placement = {r["placement"]: r for r in rows}
+    agg = by_placement["aggregate@hp0"]
+    per = by_placement["per-master@fabric"]
+    # Both placements bound the total.
+    budget_rate = TOTAL_SHARE * PEAK
+    assert agg["total_B_cyc"] <= budget_rate * 1.05
+    assert per["total_B_cyc"] <= budget_rate * 1.05
+    # Aggregate regulation lets the deep-queued hog dominate...
+    assert agg["hog_B_cyc"] > per["hog_B_cyc"] * 1.3
+    # ...while per-master regulation protects the well-behaved
+    # accelerators' shares.
+    assert per["min_wb_B_cyc"] > agg["min_wb_B_cyc"] * 1.2
+    # The hog never exceeds its per-master reservation.
+    assert per["hog_B_cyc"] <= (TOTAL_SHARE / 4) * PEAK * 1.05

@@ -1,0 +1,90 @@
+"""E12 -- Ablation: window-phase staggering.
+
+Hardware IP instances are enabled one after another, so their window
+counters are naturally offset.  If all regulated masters replenish on
+the same cycle instead (phase-aligned windows), they release their
+budgets simultaneously: traffic arrives in clumps, the DRAM queue
+spikes, and the victim's tail latency suffers -- even though every
+per-master long-run rate is identical.  This ablation quantifies the
+design decision DESIGN.md section 6 calls out.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.monitor.window import WindowedBandwidthMonitor
+from repro.soc.experiment import PlatformResult
+from repro.soc.platform import Platform
+
+from benchmarks.common import PEAK, loaded_config, report, tc_spec
+
+SHARE = 0.10
+WINDOW = 1024
+HOGS = 4
+ANALYSIS_BIN = 256
+
+
+def _run(stagger):
+    spec = dataclasses.replace(
+        tc_spec(SHARE, window_cycles=WINDOW), stagger=stagger
+    )
+    config = loaded_config(num_accels=HOGS, accel_regulator=spec)
+    platform = Platform(config)
+    # Observe the *aggregate* hog traffic in fine bins: clumping shows
+    # up as huge single-bin spikes even at identical long-run rates.
+    monitors = [
+        WindowedBandwidthMonitor(platform.ports[f"acc{i}"], ANALYSIS_BIN)
+        for i in range(HOGS)
+    ]
+    elapsed = platform.run(8_000_000)
+    result = PlatformResult(platform, elapsed)
+    horizon = (elapsed // ANALYSIS_BIN) * ANALYSIS_BIN
+    per_bin = [m.window_bytes(horizon) for m in monitors]
+    aggregate = [
+        sum(bins[i] for bins in per_bin) for i in range(len(per_bin[0]))
+    ]
+    # The worst single bin saturates at the physical service ceiling
+    # either way; the discriminating statistic is how *often* the
+    # aggregate exceeds its combined budget (clump frequency).
+    agg_budget = HOGS * SHARE * PEAK * ANALYSIS_BIN
+    violation_fraction = sum(
+        1 for v in aggregate if v > agg_budget * 1.5
+    ) / len(aggregate)
+    phases = sorted(
+        platform.regulators[f"acc{i}"].config.window_phase
+        for i in range(HOGS)
+    )
+    return {
+        "stagger": stagger,
+        "window_phases": "/".join(str(p) for p in phases),
+        "clump_bin_fraction": violation_fraction,
+        "critical_p99": result.critical().latency_p99,
+        "critical_runtime": result.critical_runtime(),
+    }
+
+
+def run_e12():
+    return [_run(False), _run(True)]
+
+
+def test_e12_stagger_ablation(benchmark):
+    rows = benchmark.pedantic(run_e12, rounds=1, iterations=1)
+    report(
+        "e12_stagger_ablation",
+        rows,
+        "E12: window-phase staggering ablation "
+        f"({HOGS} hogs at {SHARE:.0%} of peak, window={WINDOW} cyc; "
+        f"aggregate traffic observed in {ANALYSIS_BIN}-cycle bins)",
+    )
+    aligned = rows[0]
+    staggered = rows[1]
+    assert aligned["window_phases"] == "0/0/0/0"
+    assert staggered["window_phases"] != aligned["window_phases"]
+    # Aligned windows clump the aggregate traffic far more often.
+    assert (
+        aligned["clump_bin_fraction"]
+        > staggered["clump_bin_fraction"] * 1.5
+    )
+    # The victim's tail pays for the clumps.
+    assert aligned["critical_p99"] > staggered["critical_p99"] * 1.5

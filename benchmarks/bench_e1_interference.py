@@ -1,0 +1,56 @@
+"""E1 -- Motivation figure: interference without regulation.
+
+Reproduces the paper's motivation experiment: the critical core's
+slowdown as 0..7 unregulated FPGA DMA hogs are co-scheduled.  The
+authors' DATE'22 characterization of the same platforms reports up to
+an order of magnitude; the expected shape is a monotonically growing
+slowdown that saturates as the DRAM channel fills.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.metrics import slowdown
+from repro.soc.experiment import run_experiment
+
+from benchmarks.common import CPU_WORK, loaded_config, report
+
+
+def run_e1():
+    solo = run_experiment(loaded_config(num_accels=0))
+    solo_runtime = solo.critical_runtime()
+    rows = []
+    for hogs in range(0, 8):
+        result = run_experiment(loaded_config(num_accels=hogs))
+        runtime = result.critical_runtime()
+        hog_bw = sum(
+            result.master(f"acc{i}").bandwidth_bytes_per_cycle
+            for i in range(hogs)
+        )
+        rows.append(
+            {
+                "hogs": hogs,
+                "critical_runtime_cyc": runtime,
+                "slowdown": slowdown(runtime, solo_runtime),
+                "critical_p99_lat": result.critical().latency_p99,
+                "hog_bw_B_per_cyc": hog_bw,
+                "dram_util": result.dram.utilization,
+            }
+        )
+    return rows
+
+
+def test_e1_interference(benchmark):
+    rows = benchmark.pedantic(run_e1, rounds=1, iterations=1)
+    report(
+        "e1_interference",
+        rows,
+        "E1: critical-core slowdown vs number of unregulated DMA hogs "
+        f"(work = {CPU_WORK} line transfers)",
+    )
+    slowdowns = [r["slowdown"] for r in rows]
+    # Shape: monotone growth, saturating; severe by 7 hogs.
+    assert all(b >= a * 0.99 for a, b in zip(slowdowns, slowdowns[1:]))
+    assert slowdowns[0] == 1.0
+    assert slowdowns[-1] > 3.0
+    # DRAM utilization climbs towards saturation.
+    assert rows[-1]["dram_util"] > rows[0]["dram_util"] * 2

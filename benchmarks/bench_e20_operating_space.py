@@ -1,0 +1,98 @@
+"""E20 -- The operating-space map: budget share x window size.
+
+A designer choosing regulator settings navigates two axes at once:
+how much bandwidth to grant the best-effort actors (share) and how
+finely to enforce it (window).  This bench sweeps the 2-D grid and
+renders the victim's p99 latency as a heat map -- the summary figure
+a deployment guide would print.
+
+Expected landscape:
+
+* latency grows with share (more admitted interference) -- every row;
+* at equal share, finer windows flatten the tail (E3's effect) --
+  the gradient along each column;
+* the paper's recommended operating region (shares <= ~10%, windows
+  of a few hundred cycles) sits in the low-latency corner.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.ascii_plot import heat_grid
+from repro.soc.experiment import run_experiment
+
+from benchmarks.common import loaded_config, report, tc_spec
+
+SHARES = (0.05, 0.10, 0.15, 0.20)
+WINDOWS = (128, 512, 2048, 8192)
+HOGS = 4
+
+
+def run_e20():
+    rows = []
+    for share in SHARES:
+        for window in WINDOWS:
+            result = run_experiment(
+                loaded_config(
+                    num_accels=HOGS,
+                    accel_regulator=tc_spec(share, window_cycles=window),
+                )
+            )
+            rows.append(
+                {
+                    "share": share,
+                    "window_cyc": window,
+                    "critical_p99": result.critical().latency_p99,
+                    "critical_runtime": result.critical_runtime(),
+                }
+            )
+    return rows
+
+
+def test_e20_operating_space(benchmark):
+    rows = benchmark.pedantic(run_e20, rounds=1, iterations=1)
+    text = report(
+        "e20_operating_space",
+        rows,
+        "E20: victim p99 latency over the share x window grid "
+        f"({HOGS} hogs)",
+    )
+    # Render the heat-map view alongside the raw table.
+    matrix = [
+        [
+            next(
+                r["critical_p99"]
+                for r in rows
+                if r["share"] == share and r["window_cyc"] == window
+            )
+            for window in WINDOWS
+        ]
+        for share in SHARES
+    ]
+    grid = heat_grid(
+        matrix,
+        row_labels=[f"{s:.0%}" for s in SHARES],
+        col_labels=[str(w) for w in WINDOWS],
+        legend="victim p99 (rows: per-hog share, cols: window cycles)",
+    )
+    print()
+    print(grid)
+    import os
+
+    from benchmarks.common import RESULTS_DIR
+
+    with open(os.path.join(RESULTS_DIR, "e20_operating_space.txt"), "a") as fh:
+        fh.write("\n" + grid + "\n")
+
+    by_key = {
+        (r["share"], r["window_cyc"]): r["critical_p99"] for r in rows
+    }
+    # Latency grows with share at every window size.
+    for window in WINDOWS:
+        assert by_key[(SHARES[-1], window)] > by_key[(SHARES[0], window)]
+    # The recommended corner (small share, fine window) is the best
+    # cell of the grid, within noise.
+    corner = by_key[(SHARES[0], WINDOWS[0])]
+    assert corner <= min(by_key.values()) * 1.3
+    # The worst cell is the large-share coarse-window corner's
+    # neighbourhood: at least 2x the best corner.
+    assert max(by_key.values()) > corner * 2

@@ -1,0 +1,104 @@
+"""E3 -- The titular axis: regulation window granularity.
+
+Four hogs regulated to the same long-run rate (10% of peak each)
+with replenish windows from 64 cycles to 256k cycles (the latter
+approximating a software-period granularity).  Two effects appear as
+the window coarsens:
+
+* *burstiness*: the hog's traffic concentrates at the window start --
+  measured as the worst bytes observed in any fine (1024-cycle)
+  analysis bin relative to the budget scaled to that bin;
+* *victim impact*: the critical core's tail latency grows because it
+  meets the full burst head-on.
+
+The paper's point: only fine windows turn average-rate reservation
+into fine-grained QoS control.  A burst-aware vs per-beat-charging
+ablation is included at one window size.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.sweep import geometric_space
+from repro.monitor.window import WindowedBandwidthMonitor
+from repro.soc.experiment import PlatformResult
+from repro.soc.platform import Platform
+
+from benchmarks.common import PEAK, loaded_config, report, tc_spec
+
+SHARE = 0.10
+ANALYSIS_BIN = 1024
+WINDOWS = geometric_space(64, 262_144, factor=8)  # 64 .. 256k cycles
+
+
+def _run_with_window(window_cycles, burst_aware=True):
+    spec = tc_spec(SHARE, window_cycles=window_cycles, burst_aware=burst_aware)
+    config = loaded_config(num_accels=4, accel_regulator=spec)
+    platform = Platform(config)
+    fine_monitor = WindowedBandwidthMonitor(
+        platform.ports["acc0"], ANALYSIS_BIN
+    )
+    elapsed = platform.run(8_000_000)
+    result = PlatformResult(platform, elapsed)
+    budget_per_bin = SHARE * PEAK * ANALYSIS_BIN
+    horizon = (elapsed // ANALYSIS_BIN) * ANALYSIS_BIN
+    overshoot = fine_monitor.overshoot_report(budget_per_bin, horizon)
+    return result, overshoot
+
+
+def run_e3():
+    rows = []
+    for window in WINDOWS:
+        result, overshoot = _run_with_window(window)
+        rows.append(
+            {
+                "window_cyc": window,
+                "window_us_at_250MHz": window / 250.0,
+                "max_burst_ratio": overshoot["max_overshoot_ratio"],
+                "bin_violation_frac": overshoot["violation_fraction"],
+                "critical_runtime": result.critical_runtime(),
+                "critical_p99": result.critical().latency_p99,
+            }
+        )
+    # Ablation: per-beat (non-burst-aware) charging at a fine window.
+    result, overshoot = _run_with_window(512, burst_aware=False)
+    rows.append(
+        {
+            "window_cyc": "512(no-BA)",
+            "window_us_at_250MHz": 512 / 250.0,
+            "max_burst_ratio": overshoot["max_overshoot_ratio"],
+            "bin_violation_frac": overshoot["violation_fraction"],
+            "critical_runtime": result.critical_runtime(),
+            "critical_p99": result.critical().latency_p99,
+        }
+    )
+    return rows
+
+
+def test_e3_granularity(benchmark):
+    rows = benchmark.pedantic(run_e3, rounds=1, iterations=1)
+    report(
+        "e3_granularity",
+        rows,
+        "E3: regulation window sweep at equal long-run rate "
+        f"({SHARE:.0%} of peak per hog, 4 hogs; burst ratio measured in "
+        f"{ANALYSIS_BIN}-cycle bins)",
+    )
+    swept = [r for r in rows if isinstance(r["window_cyc"], int)]
+    ratios = [r["max_burst_ratio"] for r in swept]
+    # Coarse windows allow much larger instantaneous bursts (the
+    # ceiling is what contention physically lets one hog move in an
+    # analysis bin, ~2.5x the budget here).
+    assert ratios[-1] > 2 * ratios[0]
+    # Fine windows keep every analysis bin essentially within budget
+    # (at most one in-flight burst of slack).
+    assert ratios[0] <= 1.2
+    assert swept[0]["bin_violation_frac"] < 0.10
+    # Coarse windows violate most bins.
+    assert swept[-1]["bin_violation_frac"] > 0.5
+    # Victim tail latency degrades with coarser windows.
+    assert swept[-1]["critical_p99"] > swept[0]["critical_p99"]
+    # Burst-aware ablation: disabling it allows bounded overdraw, so
+    # at the same window more bins violate the budget.
+    no_ba = rows[-1]
+    fine = next(r for r in swept if r["window_cyc"] == 512)
+    assert no_ba["bin_violation_frac"] >= fine["bin_violation_frac"]

@@ -1,0 +1,58 @@
+"""E6 -- FPGA resource overhead of the monitor+regulator IP.
+
+The paper reports a Vivado utilization table for the IP on the ZU9EG.
+Synthesis is unavailable here, so the analytic structural model
+(:mod:`repro.analysis.resources`, see DESIGN.md section 3) stands in;
+it reproduces the scaling shape: linear in the number of monitored
+channels, weakly dependent on counter widths, and a small fraction of
+the device.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.resources import ResourceModel
+
+from benchmarks.common import report
+
+CHANNELS = (1, 2, 4, 8, 16)
+
+
+def run_e6():
+    model = ResourceModel()
+    rows = []
+    for channels in CHANNELS:
+        est = model.estimate(
+            channels=channels, window_cycles=1024, capacity_bytes=16_384
+        )
+        rows.append(
+            {
+                "channels": channels,
+                "LUTs": est.luts,
+                "FFs": est.ffs,
+                "BRAM36": est.bram36,
+                "LUT_pct_ZU9EG": 100 * est.lut_fraction(),
+                "FF_pct_ZU9EG": 100 * est.ff_fraction(),
+            }
+        )
+    return rows
+
+
+def test_e6_resource_overhead(benchmark):
+    rows = benchmark.pedantic(run_e6, rounds=1, iterations=1)
+    report(
+        "e6_resources",
+        rows,
+        "E6: estimated FPGA footprint of the regulator IP "
+        "(window=1024 cyc, capacity=16 KiB per channel; ZU9EG device)",
+    )
+    # Linear growth in channels.
+    luts = [r["LUTs"] for r in rows]
+    per_channel = (luts[-1] - luts[0]) / (CHANNELS[-1] - CHANNELS[0])
+    for (c1, l1), (c2, l2) in zip(zip(CHANNELS, luts), zip(CHANNELS[1:], luts[1:])):
+        slope = (l2 - l1) / (c2 - c1)
+        assert abs(slope - per_channel) / per_channel < 0.05
+    # Negligible device fraction even at 16 channels (the paper's
+    # qualitative claim: well under a few percent).
+    assert rows[-1]["LUT_pct_ZU9EG"] < 2.0
+    assert rows[-1]["FF_pct_ZU9EG"] < 2.0
+    assert all(r["BRAM36"] == 0 for r in rows)

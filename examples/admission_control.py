@@ -1,0 +1,118 @@
+#!/usr/bin/env python3
+"""QoS contracts: calibrate, admit, enforce, verify.
+
+The full contract workflow a QoS-managed SoC runs at integration
+time:
+
+1. **calibrate** the platform (achievable bandwidth, latency floor);
+2. **admit** reservation requests against the calibrated capacity and
+   the analytic worst-case latency bound of the critical task;
+3. **enforce** the admitted reservations with tightly-coupled
+   regulators;
+4. **verify** by simulation that every admitted actor achieved its
+   reservation and the critical bound held.
+
+Run:  python examples/admission_control.py
+"""
+
+from repro import (
+    AdmissionController,
+    BandwidthBudget,
+    CoRunnerEnvelope,
+    RegulatorSpec,
+    run_experiment,
+    zcu102,
+)
+from repro.analysis.calibration import calibrate
+from repro.analysis.sweep import format_table
+from repro.soc.presets import zcu102_dram, zcu102_interconnect
+
+WINDOW = 256
+
+#: Reservation requests arriving at integration time:
+#: (name, requested GB/s-equivalent rate in B/cycle, envelope).
+REQUESTS = (
+    ("camera", 2.0, CoRunnerEnvelope(max_outstanding=8, burst_beats=16)),
+    ("cnn", 2.0, CoRunnerEnvelope(max_outstanding=8, burst_beats=16)),
+    ("logger", 1.0, CoRunnerEnvelope(max_outstanding=4, burst_beats=16)),
+    ("bulk_copy", 4.0, CoRunnerEnvelope(max_outstanding=16, burst_beats=16)),
+)
+
+
+def main():
+    base = zcu102(num_accels=0, cpu_work=3_000)
+    calibration = calibrate(base, horizon=100_000)
+    print(f"Calibration: achievable {calibration.achievable_peak:.1f} B/cyc, "
+          f"solo p99 {calibration.solo_latency_p99:.0f} cycles\n")
+
+    controller = AdmissionController(
+        achievable_peak=calibration.achievable_peak,
+        protected_headroom=5.0,           # kept free for the CPU
+        latency_target=4_000,             # critical worst-case tolerance
+        timing=zcu102_dram().timing,
+        interconnect=zcu102_interconnect(),
+        critical_outstanding=2,
+    )
+
+    rows = []
+    admitted = {}
+    for name, rate, envelope in REQUESTS:
+        decision = controller.admit(name, BandwidthBudget(rate), envelope)
+        rows.append(
+            {
+                "actor": name,
+                "requested_B_cyc": rate,
+                "admitted": decision.admitted,
+                "reason": decision.reason if not decision.admitted else
+                f"ok (wc bound {decision.projected_latency_bound} cyc)",
+            }
+        )
+        if decision.admitted:
+            admitted[name] = rate
+    print(format_table(rows, title="Admission decisions"))
+    print()
+
+    # Enforce the admitted contracts and verify by simulation: build
+    # one regulated hog per admitted reservation.
+    num = len(admitted)
+    config = zcu102(num_accels=num, cpu_work=3_000)
+    masters = list(config.masters)
+    for index, (name, rate) in enumerate(sorted(admitted.items())):
+        spec = RegulatorSpec(
+            kind="tightly_coupled",
+            window_cycles=WINDOW,
+            budget_bytes=max(1, round(rate * WINDOW)),
+        )
+        import dataclasses
+        masters[1 + index] = dataclasses.replace(
+            masters[1 + index], regulator=spec
+        )
+    result = run_experiment(config.with_masters(masters))
+
+    verify_rows = []
+    for index, (name, rate) in enumerate(sorted(admitted.items())):
+        achieved = result.master(f"acc{index}").bandwidth_bytes_per_cycle
+        verify_rows.append(
+            {
+                "actor": name,
+                "reserved_B_cyc": rate,
+                "achieved_B_cyc": achieved,
+                "within_contract": achieved <= rate * 1.05,
+            }
+        )
+    verify_rows.append(
+        {
+            "actor": "cpu0 (critical)",
+            "reserved_B_cyc": "-",
+            "achieved_B_cyc": result.critical().latency_max,
+            "within_contract": result.critical().latency_max <= 4_000,
+        }
+    )
+    print(format_table(
+        verify_rows,
+        title="Verification run (last row: critical max latency vs bound)",
+    ))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,102 @@
+#!/usr/bin/env python3
+"""Two-level topology: where should the regulator live?
+
+Real Zynq-class SoCs funnel all FPGA masters through a few shared HP
+ports.  This example builds that topology -- a critical CPU on the PS
+side, three well-behaved accelerators and one misbehaving DMA hog
+behind one HP port -- and compares the two places a regulator can
+sit, at the same 40% total accelerator budget:
+
+* one aggregate regulator at the HP port (cheap: one IP);
+* per-master IPs at the fabric ports (the paper's design).
+
+Run:  python examples/hierarchical_soc.py
+"""
+
+from repro import MasterSpec, RegulatorSpec
+from repro.analysis.sweep import format_table
+from repro.soc.hierarchy import TwoLevelConfig, TwoLevelPlatform
+
+MB = 1 << 20
+PEAK = 16.0
+TOTAL_SHARE = 0.40
+WINDOW = 1024
+HORIZON = 500_000
+
+
+def build(per_master_reg, bridge_reg):
+    accels = []
+    for index, name in enumerate(("viz", "radar", "lidar")):
+        accels.append(
+            MasterSpec(
+                name=name, workload="matmul_stream",
+                region_base=0x2000_0000 + index * 4 * MB,
+                region_extent=4 * MB, max_outstanding=4,
+                regulator=per_master_reg,
+            )
+        )
+    accels.append(
+        MasterSpec(
+            name="rogue", workload="stream_read",
+            region_base=0x3000_0000, region_extent=4 * MB,
+            max_outstanding=16,  # a misbehaving IP with deep queues
+            regulator=per_master_reg,
+        )
+    )
+    return TwoLevelConfig(
+        cpus=(
+            MasterSpec(
+                name="control", workload="compute_mix",
+                region_base=0x1000_0000, region_extent=4 * MB,
+                work=2_000, max_outstanding=4, critical=True,
+            ),
+        ),
+        accels=tuple(accels),
+        bridge_regulator=bridge_reg,
+        bridge_outstanding=16,
+    )
+
+
+def run(label, per_master_reg, bridge_reg):
+    platform = TwoLevelPlatform(build(per_master_reg, bridge_reg))
+    platform.run(HORIZON, stop_when_critical_done=False)
+    row = {"placement": label}
+    for name in ("viz", "radar", "lidar", "rogue"):
+        row[name] = (
+            platform.ports[name].stats.counter("bytes").value / HORIZON
+        )
+    row["control_done_at"] = platform.masters["control"].finished_at
+    return row
+
+
+def main():
+    aggregate = RegulatorSpec(
+        kind="tightly_coupled", window_cycles=WINDOW,
+        budget_bytes=round(TOTAL_SHARE * PEAK * WINDOW),
+    )
+    per_master = RegulatorSpec(
+        kind="tightly_coupled", window_cycles=WINDOW,
+        budget_bytes=round(TOTAL_SHARE / 4 * PEAK * WINDOW),
+    )
+    rows = [
+        run("aggregate @ hp0", None, aggregate),
+        run("per-master @ fabric", per_master, None),
+    ]
+    print(format_table(
+        rows,
+        title=(
+            "Per-accelerator bandwidth (B/cycle) under each regulator "
+            f"placement ({TOTAL_SHARE:.0%} of peak total in both)"
+        ),
+    ))
+    print()
+    print("With the aggregate regulator, the rogue DMA's deep queues let")
+    print("it win most fabric arbitration rounds and eat the shared")
+    print("budget; per-master IPs cap it at its own reservation, so the")
+    print("well-behaved pipelines keep their shares. The critical CPU is")
+    print("protected either way -- isolation *among* accelerators is what")
+    print("per-master placement buys.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,100 @@
+#!/usr/bin/env python3
+"""QoS partitioning: reserve bandwidth shares for a mixed workload.
+
+Scenario (an ADAS-style SoC): a critical control task on the host
+core, a camera-input DMA writing frames, an FFT-style accelerator and
+a bulk-copy engine all share the DRAM channel.  The QoS manager
+partitions the channel with a policy -- the critical task protected
+by construction, the camera pipeline guaranteed 20% (it must never
+drop frames), the other accelerators sharing a best-effort 20%.
+
+Run:  python examples/qos_partitioning.py
+"""
+
+from repro import (
+    MasterSpec,
+    Platform,
+    PlatformConfig,
+    PlatformResult,
+    RegulatorSpec,
+    proportional_shares,
+)
+from repro.analysis.sweep import format_table
+
+WINDOW = 256
+MB = 1 << 20
+
+
+def build_config():
+    # Every accelerator gets a tightly-coupled regulator; budgets are
+    # placeholders that the QoS manager reprograms before the run.
+    reg = RegulatorSpec(
+        kind="tightly_coupled", window_cycles=WINDOW, budget_bytes=WINDOW
+    )
+    masters = (
+        MasterSpec(
+            name="control", workload="compute_mix",
+            region_base=0x1000_0000, region_extent=4 * MB,
+            work=3_000, max_outstanding=4, critical=True,
+        ),
+        MasterSpec(
+            name="camera", workload="stream_write",
+            region_base=0x1040_0000, region_extent=8 * MB,
+            regulator=reg,
+        ),
+        MasterSpec(
+            name="fft", workload="fft_stride",
+            region_base=0x10C0_0000, region_extent=8 * MB,
+            regulator=reg,
+        ),
+        MasterSpec(
+            name="copy", workload="memcpy",
+            region_base=0x1140_0000, region_extent=8 * MB,
+            regulator=reg,
+        ),
+    )
+    return PlatformConfig(masters=masters)
+
+
+def main():
+    policy = proportional_shares(
+        {"camera": 0.20, "fft": 0.10, "copy": 0.10}, name="adas"
+    )
+    platform = Platform(build_config())
+    events = platform.qos_manager.apply_policy(policy)
+    print(f"Applied policy {policy.name!r} "
+          f"({policy.total_share:.0%} of peak reserved):")
+    for event in events:
+        print(f"  {event.master:7s} -> {event.budget_bytes:5d} B per "
+              f"{WINDOW}-cycle window (live at cycle {event.effective_at})")
+    print()
+
+    elapsed = platform.run(4_000_000, stop_when_critical_done=False)
+    result = PlatformResult(platform, elapsed)
+
+    peak = platform.config.peak_bytes_per_cycle
+    rows = []
+    for name in ("control", "camera", "fft", "copy"):
+        m = result.master(name)
+        share = m.bandwidth_bytes_per_cycle / peak
+        reserved = policy.shares.get(name)
+        rows.append(
+            {
+                "master": name,
+                "reserved_share": f"{reserved:.0%}" if reserved else "(none)",
+                "achieved_share": f"{share:.1%}",
+                "bandwidth_GBs": result.bandwidth_gbps(name),
+                "p99_latency": m.latency_p99,
+            }
+        )
+    print(format_table(rows, title=f"After {elapsed:,} cycles:"))
+    print()
+    print(f"DRAM utilization {result.dram.utilization:.1%}; "
+          f"critical task finished at cycle "
+          f"{result.master('control').finished_at:,}.")
+    print("Each regulated actor achieves (at most) its reservation; the")
+    print("unreserved headroom keeps the critical task near isolation.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,99 @@
+#!/usr/bin/env python3
+"""One-stop comparison of every regulation scheme in the library.
+
+Runs the standard 1-critical-core / 4-hog scenario under each scheme
+at (where applicable) the same 10%-of-peak per-hog reservation, and
+prints a single summary table: victim protection, hog throughput,
+DRAM utilization, and the mechanism cost each scheme pays.
+
+Run:  python examples/regulator_comparison.py
+"""
+
+from repro import RegulatorSpec, run_experiment, slowdown, zcu102
+from repro.analysis.calibration import calibrate
+from repro.analysis.sweep import format_table
+
+HOGS = 4
+SHARE = 0.10
+WINDOW = 256
+CPU_WORK = 3_000
+
+
+def scheme_specs(calibration):
+    budget = calibration.budget_for_fraction(SHARE, WINDOW)
+    mg_period = 100_000
+    mg_budget = calibration.budget_for_fraction(SHARE, mg_period)
+    return [
+        ("unregulated", None, {}),
+        ("static_qos", RegulatorSpec(kind="static_qos", qos=0),
+         dict(arbiter="qos", scheduler="frfcfs_qos",
+              cpu_regulator=RegulatorSpec(kind="static_qos", qos=15))),
+        ("memguard", RegulatorSpec(
+            kind="memguard", period_cycles=mg_period, budget_bytes=mg_budget
+        ), {}),
+        ("memguard+reclaim", RegulatorSpec(
+            kind="memguard", period_cycles=mg_period, budget_bytes=mg_budget,
+            reclaim=True,
+        ), {}),
+        ("tdma", RegulatorSpec(
+            kind="tdma", window_cycles=WINDOW, tdma_slots=HOGS * 2
+        ), {}),
+        ("prem", RegulatorSpec(kind="prem", prem_hold_cycles=1024), {}),
+        ("tightly_coupled", RegulatorSpec(
+            kind="tightly_coupled", window_cycles=WINDOW, budget_bytes=budget
+        ), {}),
+        ("tc+work_conserving", RegulatorSpec(
+            kind="tightly_coupled", window_cycles=WINDOW, budget_bytes=budget,
+            work_conserving=True,
+        ), {}),
+    ]
+
+
+def main():
+    base = zcu102(num_accels=0, cpu_work=CPU_WORK)
+    calibration = calibrate(base, horizon=100_000)
+    print(f"Calibration: achievable peak "
+          f"{calibration.achievable_peak:.1f} B/cycle "
+          f"({calibration.efficiency:.0%} of theoretical), "
+          f"solo miss latency {calibration.solo_latency_mean:.0f} cycles\n")
+    solo = run_experiment(base)
+    solo_runtime = solo.critical_runtime()
+
+    rows = []
+    for name, spec, extra in scheme_specs(calibration):
+        config = zcu102(
+            num_accels=HOGS, cpu_work=CPU_WORK, accel_regulator=spec, **extra
+        )
+        result = run_experiment(config)
+        hog_bw = sum(
+            result.master(f"acc{i}").bandwidth_bytes_per_cycle
+            for i in range(HOGS)
+        )
+        rows.append(
+            {
+                "scheme": name,
+                "slowdown": slowdown(result.critical_runtime(), solo_runtime),
+                "victim_p99": result.critical().latency_p99,
+                "hog_bw_B_cyc": hog_bw,
+                "dram_util": result.dram.utilization,
+                "rate_guarantee": "yes" if spec is not None and spec.kind in (
+                    "tightly_coupled", "memguard"
+                ) else "no",
+            }
+        )
+    print(format_table(
+        rows,
+        title=(
+            f"All schemes, {HOGS} hogs vs 1 critical core "
+            f"(reservations at {SHARE:.0%} of peak per hog where applicable)"
+        ),
+    ))
+    print()
+    print("How to read it: 'rate_guarantee' marks schemes that can promise")
+    print("an accelerator a bandwidth floor. Only the tightly-coupled IP")
+    print("combines a guarantee, a bounded victim tail, and (with")
+    print("work-conserving injection) PREM-class utilization.")
+
+
+if __name__ == "__main__":
+    main()

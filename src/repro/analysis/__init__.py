@@ -1,0 +1,30 @@
+"""Analysis utilities (substrate S9).
+
+* :mod:`repro.analysis.metrics` -- derived QoS metrics: slowdown,
+  regulation accuracy, utilization, isolation quality.
+* :mod:`repro.analysis.resources` -- the analytic FPGA resource model
+  of the regulator IP (substitutes the paper's synthesis table, E6).
+* :mod:`repro.analysis.sweep` -- parameter-sweep helpers and plain
+  text table rendering for the benchmark harnesses.
+"""
+
+from repro.analysis.metrics import (
+    isolation_error,
+    regulation_error,
+    slowdown,
+    utilization_of,
+)
+from repro.analysis.resources import ResourceEstimate, ResourceModel
+from repro.analysis.sweep import format_table, geometric_space, sweep
+
+__all__ = [
+    "isolation_error",
+    "regulation_error",
+    "slowdown",
+    "utilization_of",
+    "ResourceEstimate",
+    "ResourceModel",
+    "format_table",
+    "geometric_space",
+    "sweep",
+]

@@ -1,0 +1,114 @@
+"""Terminal plotting helpers.
+
+The benchmark harnesses and examples are terminal programs; these
+helpers render the figure-shaped results (time series, distributions,
+2-D sweeps) as compact ASCII art so the repository needs no plotting
+dependency.
+
+* :func:`sparkline` -- one-line intensity strip for a series;
+* :func:`bar_chart` -- labelled horizontal bars;
+* :func:`heat_grid` -- a 2-D matrix as an intensity grid with axes.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.errors import ConfigError
+
+#: Intensity ramp from empty to full.
+_RAMP = " .:-=+*#%@"
+
+
+def _intensity(value: float, lo: float, hi: float) -> str:
+    span = hi - lo
+    if span <= 0:
+        return _RAMP[-1]
+    index = int((value - lo) / span * (len(_RAMP) - 1))
+    return _RAMP[max(0, min(index, len(_RAMP) - 1))]
+
+
+def sparkline(
+    values: Sequence[float],
+    lo: Optional[float] = None,
+    hi: Optional[float] = None,
+) -> str:
+    """Render a series as a one-line intensity strip.
+
+    Args:
+        values: The series.
+        lo / hi: Scale bounds (default: the series' min/max).
+    """
+    if not values:
+        raise ConfigError("cannot plot an empty series")
+    lo = min(values) if lo is None else lo
+    hi = max(values) if hi is None else hi
+    return "".join(_intensity(v, lo, hi) for v in values)
+
+
+def bar_chart(
+    labels: Sequence[str],
+    values: Sequence[float],
+    width: int = 40,
+    unit: str = "",
+) -> str:
+    """Render labelled horizontal bars scaled to the maximum value."""
+    if len(labels) != len(values):
+        raise ConfigError("labels and values must have equal length")
+    if not values:
+        raise ConfigError("cannot plot an empty series")
+    if width < 1:
+        raise ConfigError("width must be >= 1")
+    peak = max(values)
+    label_width = max(len(label) for label in labels)
+    lines = []
+    for label, value in zip(labels, values):
+        filled = 0 if peak <= 0 else round(value / peak * width)
+        bar = "#" * filled
+        lines.append(
+            f"{label.ljust(label_width)} |{bar.ljust(width)}| "
+            f"{value:g}{unit}"
+        )
+    return "\n".join(lines)
+
+
+def heat_grid(
+    rows: Sequence[Sequence[float]],
+    row_labels: Sequence[str],
+    col_labels: Sequence[str],
+    legend: str = "",
+) -> str:
+    """Render a 2-D matrix as an intensity grid.
+
+    Args:
+        rows: Matrix values, one inner sequence per row.
+        row_labels / col_labels: Axis annotations.
+        legend: Optional trailing legend line.
+
+    Returns:
+        Multi-line string; intensity scales over the whole matrix.
+    """
+    if not rows or not rows[0]:
+        raise ConfigError("cannot plot an empty grid")
+    if len(row_labels) != len(rows):
+        raise ConfigError("row_labels must match the number of rows")
+    if any(len(r) != len(col_labels) for r in rows):
+        raise ConfigError("every row must match the number of col_labels")
+    flat = [v for row in rows for v in row]
+    lo, hi = min(flat), max(flat)
+    label_width = max(len(label) for label in row_labels)
+    col_width = max(len(label) for label in col_labels)
+    cell = max(col_width, 1)
+    lines: List[str] = []
+    header = " " * (label_width + 1) + " ".join(
+        label.rjust(cell) for label in col_labels
+    )
+    lines.append(header)
+    for label, row in zip(row_labels, rows):
+        cells = " ".join(
+            (_intensity(v, lo, hi) * cell) for v in row
+        )
+        lines.append(f"{label.rjust(label_width)} {cells}")
+    scale = f"scale: '{_RAMP[0]}'={lo:g} .. '{_RAMP[-1]}'={hi:g}"
+    lines.append(scale + (f"   {legend}" if legend else ""))
+    return "\n".join(lines)

@@ -1,0 +1,180 @@
+"""Analytic worst-case interference bounds.
+
+The reason bandwidth regulation matters in this research line is
+*schedulability*: with every co-runner's traffic bounded, a critical
+request's worst-case latency becomes bounded and computable.  This
+module implements the (deliberately conservative) bound a designer
+would derive for the modelled platform, in the style of the
+MemGuard/PREM analyses the paper builds on.
+
+Assumptions (all pessimistic):
+
+* when the critical request arrives, every co-runner has its full
+  outstanding window of bursts already queued ahead of it;
+* each of those bursts pays a full row-conflict command sequence that
+  does not overlap the data bus, plus a read/write turnaround;
+* FR-FCFS lets row hits bypass the critical request up to the
+  starvation cap, each bypass costing a further burst service;
+* one refresh intervenes.
+
+The resulting figure is loose (a real controller overlaps commands
+with transfers) but *sound* for the simulator: the property test in
+``tests/analysis/test_bounds.py`` and the integration checks assert
+that no measured latency ever exceeds it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+from repro.errors import ConfigError
+from repro.axi.interconnect import InterconnectConfig
+from repro.dram.timing import DramTiming
+
+
+@dataclass(frozen=True)
+class CoRunnerEnvelope:
+    """The interference envelope of one co-running master.
+
+    Attributes:
+        max_outstanding: Its port's outstanding-transaction limit.
+        burst_beats: Beats per burst it issues.
+    """
+
+    max_outstanding: int
+    burst_beats: int
+
+    def __post_init__(self) -> None:
+        if self.max_outstanding < 1:
+            raise ConfigError("max_outstanding must be >= 1")
+        if not 1 <= self.burst_beats <= 256:
+            raise ConfigError("burst_beats must be 1..256")
+
+
+def per_burst_worst_cycles(timing: DramTiming, burst_beats: int) -> int:
+    """Worst-case memory cycles one interfering burst can cost.
+
+    Full row-conflict command sequence (not overlapped, pessimistic)
+    plus the data transfer plus one bus turnaround.
+    """
+    return (
+        timing.conflict_latency
+        + timing.data_cycles(burst_beats)
+        + timing.rw_turnaround
+    )
+
+
+def worst_case_read_latency(
+    timing: DramTiming,
+    interconnect: InterconnectConfig,
+    co_runners: Sequence[CoRunnerEnvelope],
+    critical_burst_beats: int = 4,
+    frfcfs_cap: int = 4,
+    own_outstanding: int = 1,
+) -> int:
+    """Upper bound on one critical read's end-to-end latency (cycles).
+
+    Args:
+        timing: DRAM timing set.
+        interconnect: Fabric pipeline latencies.
+        co_runners: Envelope of every other master in the system.
+        critical_burst_beats: The critical request's burst length.
+        frfcfs_cap: The controller's starvation cap.
+        own_outstanding: The critical master's other in-flight
+            requests that may be queued ahead of this one.
+
+    Returns:
+        A sound (conservative) latency bound in cycles.
+    """
+    if critical_burst_beats < 1:
+        raise ConfigError("critical_burst_beats must be >= 1")
+    if own_outstanding < 1:
+        raise ConfigError("own_outstanding must be >= 1")
+    # Everything already queued ahead of the request.
+    queued_ahead = sum(
+        env.max_outstanding * per_burst_worst_cycles(timing, env.burst_beats)
+        for env in co_runners
+    )
+    # Own earlier requests (dependent-miss masters have none, MLP>1
+    # masters up to own_outstanding-1).
+    queued_ahead += (own_outstanding - 1) * per_burst_worst_cycles(
+        timing, critical_burst_beats
+    )
+    # FR-FCFS bypasses after arrival: each is a row hit by definition.
+    biggest_burst = max(
+        [env.burst_beats for env in co_runners] + [critical_burst_beats]
+    )
+    bypass_cost = frfcfs_cap * (
+        timing.hit_latency
+        + timing.data_cycles(biggest_burst)
+        + timing.rw_turnaround
+    )
+    # One refresh may intervene.
+    refresh = timing.t_rfc if timing.t_refi else 0
+    # The request's own service, fully serialized.
+    own = timing.conflict_latency + timing.data_cycles(critical_burst_beats)
+    pipeline = interconnect.fwd_latency + interconnect.resp_latency
+    # Address channel: every queued-ahead burst also occupies one
+    # address slot before ours.
+    addr = interconnect.addr_cycles * (
+        sum(env.max_outstanding for env in co_runners) + own_outstanding
+    )
+    return queued_ahead + bypass_cost + refresh + own + pipeline + addr
+
+
+def guaranteed_bandwidth(
+    peak_bytes_per_cycle: float,
+    besteffort_rates: Sequence[float],
+) -> float:
+    """Long-run bandwidth left for the critical actor.
+
+    Args:
+        peak_bytes_per_cycle: Channel peak rate.
+        besteffort_rates: The regulated rates (bytes/cycle) granted to
+            every best-effort actor.
+
+    Returns:
+        The residual rate in bytes per cycle.
+
+    Raises:
+        ConfigError: if the reservations oversubscribe the channel.
+    """
+    if peak_bytes_per_cycle <= 0:
+        raise ConfigError("peak rate must be positive")
+    total = sum(besteffort_rates)
+    if total < 0:
+        raise ConfigError("rates must be non-negative")
+    residual = peak_bytes_per_cycle - total
+    if residual <= 0:
+        raise ConfigError(
+            f"reservations ({total:.2f} B/cyc) oversubscribe the channel "
+            f"({peak_bytes_per_cycle:.2f} B/cyc)"
+        )
+    return residual
+
+
+def max_tolerable_window(
+    timing: DramTiming,
+    budget_bytes_per_window: int,
+    burst_bytes: int,
+) -> Tuple[int, int]:
+    """How bursty can a window be before it defeats regulation?
+
+    A window's whole budget can arrive back-to-back at the window
+    start.  Returns ``(burst_bytes_per_window, burst_cycles)`` -- the
+    size of that worst-case clump and how long it occupies the data
+    bus -- the quantity a designer compares against the critical
+    task's latency tolerance when choosing the window size.
+    """
+    if budget_bytes_per_window < 1:
+        raise ConfigError("budget must be >= 1")
+    if burst_bytes < 1:
+        raise ConfigError("burst_bytes must be >= 1")
+    # The clump is the budget rounded up to whole bursts (burst-aware
+    # charging admits the last burst only if it fully fits, so the
+    # clump never exceeds the budget plus zero extra bursts; the
+    # oversize path adds at most one burst).
+    clump = max(budget_bytes_per_window, burst_bytes)
+    beats = -(-clump // timing.bus_bytes_per_beat)
+    return clump, timing.data_cycles(max(1, beats))

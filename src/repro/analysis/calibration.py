@@ -1,0 +1,105 @@
+"""Platform calibration: measure what the system can actually do.
+
+Budgets are meaningful relative to the *achievable* bandwidth, not
+the theoretical pin rate: row misses, refresh and turnarounds make a
+real channel deliver 75-90% of peak.  The paper's methodology (like
+MemGuard's) starts by profiling the platform; this module implements
+that step for any :class:`~repro.soc.platform.PlatformConfig`:
+
+* :func:`measure_peak_bandwidth` -- saturate the system with one
+  streaming DMA and report the sustained rate;
+* :func:`measure_solo_latency` -- the critical master's latency floor;
+* :func:`calibrate` -- both, bundled with derived efficiency figures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+from repro.soc.experiment import run_experiment, run_solo_baseline
+from repro.soc.platform import MasterSpec, PlatformConfig
+
+#: Region used by the synthetic probe hog.
+_PROBE_BASE = 0x4000_0000
+_PROBE_EXTENT = 8 << 20
+
+
+@dataclass(frozen=True)
+class CalibrationResult:
+    """Measured capabilities of a platform configuration.
+
+    Attributes:
+        theoretical_peak: Data-bus limit in bytes/cycle.
+        achievable_peak: Sustained streaming rate in bytes/cycle.
+        efficiency: ``achievable / theoretical``.
+        solo_latency_mean / solo_latency_p99: The critical master's
+            isolation latency floor in cycles (0 when the config has
+            no critical master).
+    """
+
+    theoretical_peak: float
+    achievable_peak: float
+    efficiency: float
+    solo_latency_mean: float
+    solo_latency_p99: float
+
+    def budget_for_fraction(self, fraction: float, window_cycles: int) -> int:
+        """Bytes-per-window budget for a fraction of *achievable* peak."""
+        if not 0 < fraction <= 1:
+            raise ConfigError(f"fraction must be in (0, 1], got {fraction}")
+        if window_cycles < 1:
+            raise ConfigError("window_cycles must be >= 1")
+        return max(1, round(fraction * self.achievable_peak * window_cycles))
+
+
+def measure_peak_bandwidth(
+    config: PlatformConfig, horizon: int = 200_000
+) -> float:
+    """Sustained bandwidth of one unregulated streaming DMA (B/cycle).
+
+    Builds a probe system with the same clock/interconnect/DRAM as
+    ``config`` but a single saturating hog.
+    """
+    if horizon < 10_000:
+        raise ConfigError("horizon too short to reach steady state")
+    probe = MasterSpec(
+        name="calibration_probe",
+        workload="stream_read",
+        region_base=_PROBE_BASE,
+        region_extent=_PROBE_EXTENT,
+        work=None,
+        max_outstanding=16,
+    )
+    probe_config = config.with_masters((probe,))
+    result = run_experiment(
+        probe_config, max_cycles=horizon, stop_when_critical_done=False
+    )
+    return result.master("calibration_probe").bytes_moved / horizon
+
+
+def measure_solo_latency(config: PlatformConfig) -> tuple:
+    """``(mean, p99)`` latency of the critical master running alone.
+
+    Returns ``(0.0, 0.0)`` when the config marks no master critical.
+    """
+    critical = [m for m in config.masters if m.critical]
+    if not critical:
+        return (0.0, 0.0)
+    result = run_solo_baseline(config, critical[0].name)
+    master = result.master(critical[0].name)
+    return (master.latency_mean, master.latency_p99)
+
+
+def calibrate(config: PlatformConfig, horizon: int = 200_000) -> CalibrationResult:
+    """Profile a platform configuration (see module docstring)."""
+    theoretical = config.peak_bytes_per_cycle
+    achievable = measure_peak_bandwidth(config, horizon)
+    mean, p99 = measure_solo_latency(config)
+    return CalibrationResult(
+        theoretical_peak=theoretical,
+        achievable_peak=achievable,
+        efficiency=achievable / theoretical,
+        solo_latency_mean=mean,
+        solo_latency_p99=p99,
+    )

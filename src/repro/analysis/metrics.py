@@ -1,0 +1,61 @@
+"""Derived QoS metrics.
+
+Small, pure functions that turn raw measurements into the quantities
+the paper's figures plot.  Each is used by at least one benchmark and
+unit-tested against hand-computed values.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigError
+
+
+def slowdown(loaded_runtime: float, solo_runtime: float) -> float:
+    """Interference slowdown: loaded completion time over solo.
+
+    1.0 means perfect isolation; the paper's motivation experiment
+    reports an order of magnitude without regulation.
+    """
+    if solo_runtime <= 0:
+        raise ConfigError(f"solo runtime must be positive, got {solo_runtime}")
+    if loaded_runtime <= 0:
+        raise ConfigError(f"loaded runtime must be positive, got {loaded_runtime}")
+    return loaded_runtime / solo_runtime
+
+
+def regulation_error(measured_rate: float, configured_rate: float) -> float:
+    """Relative regulation error: ``(measured - configured) / configured``.
+
+    Positive = the regulator let more through than configured
+    (overshoot); negative = it was too conservative (undershoot,
+    i.e. wasted reservation).
+    """
+    if configured_rate <= 0:
+        raise ConfigError(f"configured rate must be positive, got {configured_rate}")
+    if measured_rate < 0:
+        raise ConfigError(f"measured rate must be non-negative, got {measured_rate}")
+    return (measured_rate - configured_rate) / configured_rate
+
+
+def utilization_of(total_bytes: float, elapsed: int, peak_bytes_per_cycle: float) -> float:
+    """Fraction of the channel peak actually used over the run."""
+    if elapsed <= 0:
+        raise ConfigError(f"elapsed must be positive, got {elapsed}")
+    if peak_bytes_per_cycle <= 0:
+        raise ConfigError("peak rate must be positive")
+    if total_bytes < 0:
+        raise ConfigError("total_bytes must be non-negative")
+    return total_bytes / (elapsed * peak_bytes_per_cycle)
+
+
+def isolation_error(loaded_latency: float, solo_latency: float) -> float:
+    """Relative inflation of the critical actor's latency.
+
+    0.0 = perfect isolation; 0.10 = the "below 10%" target the
+    authors' CMRI line of work uses as the acceptable QoS envelope.
+    """
+    if solo_latency <= 0:
+        raise ConfigError(f"solo latency must be positive, got {solo_latency}")
+    if loaded_latency < 0:
+        raise ConfigError("loaded latency must be non-negative")
+    return (loaded_latency - solo_latency) / solo_latency

@@ -1,0 +1,133 @@
+"""Scenario report generation.
+
+Produces a self-contained plain-text report for one platform run:
+per-master traffic and latency, regulation state, DRAM behaviour, and
+(when a solo baseline is supplied) slowdown and isolation figures.
+Used by the CLI's ``report`` subcommand and handy in notebooks.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.analysis.metrics import isolation_error, slowdown, utilization_of
+from repro.analysis.sweep import format_table
+from repro.soc.experiment import PlatformResult
+
+
+def _master_rows(result: PlatformResult) -> List[dict]:
+    rows = []
+    for name in sorted(result.masters):
+        m = result.master(name)
+        rows.append(
+            {
+                "master": name,
+                "txns": m.completed,
+                "bytes": m.bytes_moved,
+                "bw_B_cyc": m.bandwidth_bytes_per_cycle,
+                "lat_mean": m.latency_mean,
+                "lat_p99": m.latency_p99,
+                "denials": m.regulator_denials,
+                "finished": m.finished_at if m.finished_at else "-",
+            }
+        )
+    return rows
+
+
+def _regulator_rows(result: PlatformResult) -> List[dict]:
+    rows = []
+    for name, regulator in sorted(result.platform.regulators.items()):
+        row = {
+            "master": name,
+            "type": type(regulator).__name__,
+            "charged_bytes": regulator.charged_bytes,
+        }
+        budget = getattr(regulator, "budget_bytes", None)
+        if budget is not None:
+            row["budget_bytes"] = budget
+        window = getattr(regulator, "window_cycles", None) or getattr(
+            regulator, "period_cycles", None
+        )
+        if window is not None:
+            row["window_cyc"] = window
+        injected = getattr(regulator, "injected_bytes", 0)
+        if injected:
+            row["injected_bytes"] = injected
+        reclaimed = getattr(regulator, "reclaimed_bytes", 0)
+        if reclaimed:
+            row["reclaimed_bytes"] = reclaimed
+        rows.append(row)
+    return rows
+
+
+def render_report(
+    result: PlatformResult,
+    title: str = "Platform run report",
+    solo: Optional[PlatformResult] = None,
+) -> str:
+    """Render a multi-section plain-text report.
+
+    Args:
+        result: The run to describe.
+        title: Heading line.
+        solo: Optional solo baseline of the critical master, enabling
+            slowdown / isolation-error sections.
+
+    Returns:
+        The report text (no trailing newline).
+    """
+    peak = result.platform.config.peak_bytes_per_cycle
+    sections = [title, "=" * len(title), ""]
+    sections.append(
+        f"elapsed: {result.elapsed:,} cycles   "
+        f"DRAM utilization: {result.dram.utilization:.1%}   "
+        f"row-hit rate: {result.dram.row_hit_rate:.1%}   "
+        f"refreshes: {result.dram.refreshes}"
+    )
+    total_bytes = sum(m.bytes_moved for m in result.masters.values())
+    sections.append(
+        f"total traffic: {total_bytes:,} bytes "
+        f"({utilization_of(total_bytes, result.elapsed, peak):.1%} of peak)"
+    )
+    sections.append("")
+    sections.append(format_table(_master_rows(result), title="Masters"))
+    regulator_rows = _regulator_rows(result)
+    if regulator_rows:
+        sections.append("")
+        sections.append(format_table(regulator_rows, title="Regulators"))
+    log = result.platform.qos_manager.log
+    if log:
+        sections.append("")
+        sections.append(
+            format_table(
+                [
+                    {
+                        "master": e.master,
+                        "requested_at": e.requested_at,
+                        "effective_at": e.effective_at,
+                        "latency_cyc": e.latency,
+                        "budget_bytes": e.budget_bytes,
+                    }
+                    for e in log
+                ],
+                title="Reconfiguration log",
+            )
+        )
+    if solo is not None:
+        critical = result.critical()
+        base = solo.critical()
+        sections.append("")
+        sections.append("Critical-task QoS vs solo baseline")
+        sections.append(
+            f"  slowdown        : "
+            f"{slowdown(result.critical_runtime(), solo.critical_runtime()):.2f}x"
+        )
+        sections.append(
+            f"  mean-latency inflation : "
+            f"{isolation_error(critical.latency_mean, base.latency_mean):+.1%}"
+        )
+        sections.append(
+            f"  p99-latency inflation  : "
+            f"{isolation_error(critical.latency_p99, base.latency_p99):+.1%}"
+        )
+    return "\n".join(sections)

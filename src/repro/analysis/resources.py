@@ -1,0 +1,128 @@
+"""Analytic FPGA resource model of the regulator IP (experiment E6).
+
+We cannot run Vivado synthesis in this environment, so the paper's
+resource-utilization table is substituted by a structural cost model
+derived from the IP's register-transfer composition (see DESIGN.md,
+section 3).  The model reproduces the *scaling shape* such a table
+shows -- cost linear in the number of monitored channels, weakly
+(logarithmically) dependent on counter widths, and negligible
+relative to the target device.
+
+Per monitored channel the IP instantiates:
+
+* a credit counter and comparator (``credit_bits`` wide);
+* a window down-counter (``window_bits`` wide);
+* an observed-bytes monitor counter (``monitor_bits`` wide);
+* AXI handshake gating logic (fixed);
+* four 32-bit configuration/status registers.
+
+Shared once per IP instance: an AXI4-Lite slave for the register
+file and the control FSM.
+
+Per-bit LUT/FF coefficients follow standard synthesis results for
+counters and comparators on UltraScale+ (a counter bit costs ~1 FF +
+~0.5 LUT; a comparator bit ~0.35 LUT).  Absolute numbers are
+estimates; the benchmark reports them next to the device budget to
+show the paper's qualitative claim (a few tenths of a percent of a
+ZU9EG per channel).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+
+#: Xilinx Zynq UltraScale+ ZU9EG programmable-logic budget.
+ZU9EG_LUTS = 274_080
+ZU9EG_FFS = 548_160
+ZU9EG_BRAM36 = 912
+
+
+@dataclass(frozen=True)
+class ResourceEstimate:
+    """LUT/FF/BRAM estimate for one IP configuration."""
+
+    channels: int
+    luts: int
+    ffs: int
+    bram36: int
+
+    def lut_fraction(self, device_luts: int = ZU9EG_LUTS) -> float:
+        return self.luts / device_luts
+
+    def ff_fraction(self, device_ffs: int = ZU9EG_FFS) -> float:
+        return self.ffs / device_ffs
+
+
+@dataclass(frozen=True)
+class ResourceModel:
+    """Structural cost model of the monitor+regulator IP.
+
+    Attributes:
+        axi_lite_luts / axi_lite_ffs: Fixed cost of the register-file
+            slave and control FSM.
+        gating_luts / gating_ffs: Per-channel AXI handshake gating.
+        lut_per_counter_bit / ff_per_counter_bit: Counter costs.
+        lut_per_comparator_bit: Credit comparator cost.
+        config_regs_per_channel: 32-bit registers per channel.
+    """
+
+    axi_lite_luts: int = 320
+    axi_lite_ffs: int = 420
+    gating_luts: int = 45
+    gating_ffs: int = 30
+    lut_per_counter_bit: float = 0.5
+    ff_per_counter_bit: float = 1.0
+    lut_per_comparator_bit: float = 0.35
+    config_regs_per_channel: int = 4
+
+    def channel_bits(self, window_cycles: int, capacity_bytes: int) -> dict:
+        """Counter widths implied by a regulator configuration."""
+        if window_cycles < 1 or capacity_bytes < 1:
+            raise ConfigError("window and capacity must be >= 1")
+        credit_bits = max(1, math.ceil(math.log2(capacity_bytes + 1)))
+        window_bits = max(1, math.ceil(math.log2(window_cycles + 1)))
+        # Monitor counter sized to count a full second of traffic.
+        monitor_bits = 32
+        return {
+            "credit_bits": credit_bits,
+            "window_bits": window_bits,
+            "monitor_bits": monitor_bits,
+        }
+
+    def estimate(
+        self,
+        channels: int,
+        window_cycles: int = 1024,
+        capacity_bytes: int = 4096,
+    ) -> ResourceEstimate:
+        """Estimate the IP's footprint.
+
+        Args:
+            channels: Monitored/regulated AXI master ports.
+            window_cycles: Replenish window (sizes the window counter).
+            capacity_bytes: Credit capacity (sizes credit counter and
+                comparator).
+        """
+        if channels < 1:
+            raise ConfigError(f"channels must be >= 1, got {channels}")
+        bits = self.channel_bits(window_cycles, capacity_bytes)
+        counter_bits = (
+            bits["credit_bits"] + bits["window_bits"] + bits["monitor_bits"]
+        )
+        per_channel_luts = (
+            self.gating_luts
+            + counter_bits * self.lut_per_counter_bit
+            + bits["credit_bits"] * self.lut_per_comparator_bit
+            + self.config_regs_per_channel * 32 * 0.1  # register mux share
+        )
+        per_channel_ffs = (
+            self.gating_ffs
+            + counter_bits * self.ff_per_counter_bit
+            + self.config_regs_per_channel * 32
+        )
+        luts = self.axi_lite_luts + math.ceil(channels * per_channel_luts)
+        ffs = self.axi_lite_ffs + math.ceil(channels * per_channel_ffs)
+        return ResourceEstimate(channels=channels, luts=luts, ffs=ffs, bram36=0)

@@ -1,0 +1,274 @@
+"""Master ports: the attachment point of masters *and* regulators.
+
+A :class:`MasterPort` sits between one traffic-generating master and
+the interconnect.  It owns the request queue awaiting address-channel
+acceptance, enforces the AXI outstanding-transaction limit, and hosts
+the (optional) bandwidth regulator *inline* -- exactly where the
+reproduced paper places its tightly-coupled monitoring/regulation IP.
+
+Because the regulator is consulted on the very handshake it gates and
+is charged on the very cycle a burst is accepted, the feedback loop
+between monitoring and regulation is cycle-accurate.  The contrast
+with loosely-coupled (sampled) monitoring is explored by experiment
+E8 (:mod:`repro.regulation` supports a sampling delay for that).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable, Deque, List, Optional, TYPE_CHECKING
+
+from repro.errors import ConfigError, ProtocolError
+from repro.sim.kernel import Phase, Simulator
+from repro.sim.stats import StatSet
+from repro.sim.trace import TraceRecord, TraceRecorder
+from repro.axi.txn import Transaction
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.regulation.base import BandwidthRegulator
+
+
+@dataclass(frozen=True)
+class PortConfig:
+    """Static configuration of one master port.
+
+    Attributes:
+        name: Unique port / master name.
+        max_outstanding: Maximum accepted-but-uncompleted transactions.
+        qos: Default AXI QoS value stamped on transactions that carry
+            none (0..15).
+        split_channels: Model the independent AXI read (AR) and write
+            (AW) address channels as separate queues.  With a single
+            combined queue (the default, adequate for single-direction
+            masters), a stalled write at the head blocks queued reads
+            behind it; split channels remove that head-of-line
+            coupling, as real AXI masters do.
+    """
+
+    name: str
+    max_outstanding: int = 8
+    qos: int = 0
+    split_channels: bool = False
+
+    def __post_init__(self) -> None:
+        if self.max_outstanding < 1:
+            raise ConfigError(
+                f"port {self.name!r}: max_outstanding must be >= 1, "
+                f"got {self.max_outstanding}"
+            )
+        if not 0 <= self.qos <= 15:
+            raise ConfigError(f"port {self.name!r}: qos {self.qos} outside 0..15")
+
+
+class MasterPort:
+    """One master's entry point into the interconnect.
+
+    Args:
+        sim: The simulation kernel.
+        config: Static port parameters.
+        regulator: Optional inline bandwidth regulator.  ``None``
+            means the port is unregulated (passthrough).
+        trace: Optional trace recorder receiving completed txns.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        config: PortConfig,
+        regulator: Optional["BandwidthRegulator"] = None,
+        trace: Optional[TraceRecorder] = None,
+    ) -> None:
+        self.sim = sim
+        self.config = config
+        self.name = config.name
+        self.regulator = regulator
+        self.trace = trace
+        self.stats = StatSet(config.name)
+        # One combined queue, or one per address channel (AR/AW).
+        if config.split_channels:
+            self._queues = {False: deque(), True: deque()}
+        else:
+            self._queues = {False: deque()}
+        self._outstanding = 0
+        self._interconnect = None  # set by Interconnect.attach_port
+        self._retry_scheduled_at: Optional[int] = None
+        #: Called with the completed transaction (set by the master).
+        self.on_response: Optional[Callable[[Transaction], None]] = None
+        #: Observers of data-beat traffic: ``fn(nbytes, now)``.
+        self.beat_observers: List[Callable[[int, int], None]] = []
+        #: Observers of completed transactions: ``fn(txn)``; called
+        #: after timestamps are final (latency monitors hook here).
+        self.completion_observers: List[Callable[[Transaction], None]] = []
+        if regulator is not None:
+            regulator.bind_port(self)
+
+    # ------------------------------------------------------------------
+    # wiring
+    # ------------------------------------------------------------------
+    def _set_interconnect(self, interconnect) -> None:
+        if self._interconnect is not None:
+            raise ProtocolError(f"port {self.name!r} attached twice")
+        self._interconnect = interconnect
+
+    # ------------------------------------------------------------------
+    # master-facing API
+    # ------------------------------------------------------------------
+    def submit(self, txn: Transaction) -> None:
+        """Present a new transaction's address phase to the port."""
+        if self._interconnect is None:
+            raise ProtocolError(f"port {self.name!r} not attached to interconnect")
+        if txn.qos == 0 and self.config.qos != 0:
+            txn.qos = self.config.qos
+        txn.mark_issued(self.sim.now)
+        self._queue_for(txn).append(txn)
+        self.stats.counter("submitted").add()
+        self._interconnect.kick()
+
+    def _queue_for(self, txn: Transaction) -> Deque[Transaction]:
+        if self.config.split_channels:
+            return self._queues[txn.is_write]
+        return self._queues[False]
+
+    @property
+    def queue_depth(self) -> int:
+        """Transactions waiting for address acceptance."""
+        return sum(len(q) for q in self._queues.values())
+
+    @property
+    def outstanding(self) -> int:
+        """Accepted-but-uncompleted transactions."""
+        return self._outstanding
+
+    @property
+    def idle(self) -> bool:
+        """True when nothing is queued or in flight."""
+        return self.queue_depth == 0 and self._outstanding == 0
+
+    # ------------------------------------------------------------------
+    # interconnect-facing API
+    # ------------------------------------------------------------------
+    def _candidate_heads(self, want_write: Optional[bool]):
+        """Head transactions matching the requested direction."""
+        if self.config.split_channels:
+            if want_write is None:
+                keys = (False, True)
+            else:
+                keys = (want_write,)
+            return [self._queues[k][0] for k in keys if self._queues[k]]
+        queue = self._queues[False]
+        if not queue:
+            return []
+        head = queue[0]
+        if want_write is not None and head.is_write != want_write:
+            return []
+        return [head]
+
+    def head(self, want_write: Optional[bool] = None) -> Optional[Transaction]:
+        """Return an eligible head-of-line transaction, or None.
+
+        Args:
+            want_write: Restrict to the write (True) or read (False)
+                address channel; None accepts either.  With
+                ``split_channels`` each direction has its own queue,
+                otherwise only the single queue's head can match.
+
+        A head is eligible when the outstanding limit has room and the
+        regulator (if any) admits it *now*.  When the regulator is the
+        blocker, a retry kick is scheduled for the cycle the regulator
+        says credit becomes available, so the interconnect re-runs
+        arbitration without polling.
+        """
+        if self._outstanding >= self.config.max_outstanding:
+            return None
+        for txn in self._candidate_heads(want_write):
+            if self.regulator is not None:
+                now = self.sim.now
+                if not self.regulator.may_issue(txn, now):
+                    self.stats.counter("regulator_denials").add()
+                    self._schedule_retry(
+                        self.regulator.next_opportunity(txn, now)
+                    )
+                    continue
+            return txn
+        return None
+
+    def accept_head(self, want_write: Optional[bool] = None) -> Transaction:
+        """The interconnect accepted this port's head transaction."""
+        if self.config.split_channels and want_write is None:
+            raise ProtocolError(
+                f"port {self.name!r}: split channels need a direction"
+            )
+        key = want_write if self.config.split_channels else False
+        queue = self._queues[key]
+        if not queue:
+            raise ProtocolError(f"port {self.name!r}: accept with empty queue")
+        txn = queue.popleft()
+        txn.mark_accepted(self.sim.now)
+        self._outstanding += 1
+        if self.regulator is not None:
+            self.regulator.charge(txn, self.sim.now)
+        self.stats.counter("accepted").add()
+        self.stats.sampler("queueing_delay").record(txn.accepted - txn.issued)
+        return txn
+
+    def complete(self, txn: Transaction) -> None:
+        """A response for ``txn`` arrived back at the master."""
+        if self._outstanding <= 0:
+            raise ProtocolError(f"port {self.name!r}: completion underflow")
+        self._outstanding -= 1
+        now = self.sim.now
+        txn.mark_completed(now)
+        self.stats.counter("completed").add()
+        self.stats.counter("bytes").add(txn.nbytes)
+        self.stats.sampler("latency").record(txn.latency)
+        for observer in self.beat_observers:
+            observer(txn.nbytes, now)
+        for observer in self.completion_observers:
+            observer(txn)
+        if self.trace is not None:
+            self.trace.record(
+                TraceRecord(
+                    master=self.name,
+                    txn_id=txn.txn_id,
+                    is_write=txn.is_write,
+                    addr=txn.addr,
+                    nbytes=txn.nbytes,
+                    created=txn.created,
+                    issued=txn.issued,
+                    accepted=txn.accepted,
+                    completed=txn.completed,
+                )
+            )
+        if self.on_response is not None:
+            self.on_response(txn)
+        # A freed outstanding slot may unblock a head-of-line txn.
+        if self.queue_depth:
+            self._interconnect.kick()
+
+    # ------------------------------------------------------------------
+    # regulator support
+    # ------------------------------------------------------------------
+    def regulator_released(self) -> None:
+        """Callback for regulators: credit became available."""
+        if self.queue_depth:
+            self._interconnect.kick()
+
+    def _schedule_retry(self, at_cycle: int) -> None:
+        """Arrange an interconnect kick at ``at_cycle`` (deduplicated)."""
+        now = self.sim.now
+        at_cycle = max(at_cycle, now + 1)
+        if (
+            self._retry_scheduled_at is not None
+            and self._retry_scheduled_at <= at_cycle
+            and self._retry_scheduled_at > now
+        ):
+            return
+        self._retry_scheduled_at = at_cycle
+
+        def retry() -> None:
+            self._retry_scheduled_at = None
+            if self.queue_depth:
+                self._interconnect.kick()
+
+        self.sim.schedule_at(at_cycle, retry, priority=Phase.MASTER)

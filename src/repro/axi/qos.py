@@ -1,0 +1,62 @@
+"""Static AXI QoS (QoS-400 style) configuration helpers.
+
+Commercial fabrics let integrators pin an ``AxQOS`` value per master
+port.  :class:`QosMap` captures such an assignment and applies it to
+a set of :class:`~repro.axi.port.PortConfig` objects.  It exists as a
+first-class object because "static QoS priorities" is one of the
+baselines the reproduced paper argues is insufficient: priorities
+reorder service but give no rate guarantee.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.errors import ConfigError
+from repro.axi.port import PortConfig
+
+
+@dataclass
+class QosMap:
+    """An assignment of AXI QoS values (0..15) to master names."""
+
+    values: Dict[str, int] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        for name, qos in self.values.items():
+            if not 0 <= qos <= 15:
+                raise ConfigError(f"QoS for {name!r} must be 0..15, got {qos}")
+
+    def set(self, master: str, qos: int) -> None:
+        if not 0 <= qos <= 15:
+            raise ConfigError(f"QoS for {master!r} must be 0..15, got {qos}")
+        self.values[master] = qos
+
+    def get(self, master: str) -> int:
+        """QoS for a master; unlisted masters get the AXI default (0)."""
+        return self.values.get(master, 0)
+
+    def apply(self, configs: List[PortConfig]) -> List[PortConfig]:
+        """Return copies of ``configs`` with QoS values stamped in."""
+        out: List[PortConfig] = []
+        for cfg in configs:
+            qos = self.values.get(cfg.name)
+            if qos is None:
+                out.append(cfg)
+            else:
+                out.append(
+                    PortConfig(
+                        name=cfg.name,
+                        max_outstanding=cfg.max_outstanding,
+                        qos=qos,
+                    )
+                )
+        return out
+
+    @staticmethod
+    def critical_first(critical: List[str], best_effort: List[str]) -> "QosMap":
+        """Convenience: critical masters at QoS 15, best-effort at 0."""
+        values = {name: 15 for name in critical}
+        values.update({name: 0 for name in best_effort})
+        return QosMap(values)

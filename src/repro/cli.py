@@ -1,0 +1,316 @@
+"""Command-line interface.
+
+Small, scriptable front-ends over the experiment API::
+
+    python -m repro interfere --hogs 4
+    python -m repro regulate --kind tightly_coupled --share 0.1 --window 256
+    python -m repro accuracy --share 0.2
+    python -m repro resources --channels 1 2 4 8
+    python -m repro bound --hogs 4
+
+Every subcommand prints an aligned table on stdout and returns a
+process exit code (0 = success), so the CLI slots into shell
+pipelines and CI jobs.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from repro.analysis.bounds import CoRunnerEnvelope, worst_case_read_latency
+from repro.analysis.metrics import regulation_error, slowdown
+from repro.analysis.resources import ResourceModel
+from repro.analysis.sweep import format_table
+from repro.errors import ReproError
+from repro.regulation.factory import RegulatorSpec
+from repro.soc.experiment import run_experiment
+from repro.soc.presets import zcu102, zcu102_dram, zcu102_interconnect
+
+PEAK = 16.0
+
+
+def _spec_from_args(args) -> Optional[RegulatorSpec]:
+    if args.kind == "none":
+        return None
+    if args.kind == "tightly_coupled":
+        return RegulatorSpec(
+            kind="tightly_coupled",
+            window_cycles=args.window,
+            budget_bytes=max(1, round(args.share * PEAK * args.window)),
+            work_conserving=args.work_conserving,
+        )
+    if args.kind == "memguard":
+        return RegulatorSpec(
+            kind="memguard",
+            period_cycles=args.period,
+            budget_bytes=max(1, round(args.share * PEAK * args.period)),
+            reclaim=args.reclaim,
+        )
+    raise ReproError(f"unhandled regulator kind {args.kind!r}")
+
+
+def cmd_interfere(args) -> int:
+    solo = run_experiment(zcu102(num_accels=0, cpu_work=args.work))
+    base = solo.critical_runtime()
+    rows = []
+    for hogs in range(0, args.hogs + 1):
+        result = run_experiment(zcu102(num_accels=hogs, cpu_work=args.work))
+        rows.append(
+            {
+                "hogs": hogs,
+                "runtime_cyc": result.critical_runtime(),
+                "slowdown": slowdown(result.critical_runtime(), base),
+                "p99_latency": result.critical().latency_p99,
+                "dram_util": result.dram.utilization,
+            }
+        )
+    print(format_table(rows, title="Interference characterization"))
+    return 0
+
+
+def cmd_regulate(args) -> int:
+    solo = run_experiment(zcu102(num_accels=0, cpu_work=args.work))
+    base = solo.critical_runtime()
+    spec = _spec_from_args(args)
+    result = run_experiment(
+        zcu102(num_accels=args.hogs, cpu_work=args.work, accel_regulator=spec)
+    )
+    rows = []
+    for name in sorted(result.masters):
+        m = result.master(name)
+        rows.append(
+            {
+                "master": name,
+                "bandwidth_B_cyc": m.bandwidth_bytes_per_cycle,
+                "p99_latency": m.latency_p99,
+                "denials": m.regulator_denials,
+            }
+        )
+    title = (
+        f"Regulation: {args.kind}, {args.hogs} hogs, critical slowdown "
+        f"{slowdown(result.critical_runtime(), base):.2f}x"
+    )
+    print(format_table(rows, title=title))
+    return 0
+
+
+def cmd_accuracy(args) -> int:
+    configured = args.share * PEAK
+    rows = []
+    for kind in ("tightly_coupled", "memguard"):
+        ns = argparse.Namespace(**vars(args))
+        ns.kind = kind
+        spec = _spec_from_args(ns)
+        result = run_experiment(
+            zcu102(num_accels=1, cpu_work=1, accel_regulator=spec),
+            max_cycles=args.horizon,
+            stop_when_critical_done=False,
+        )
+        achieved = result.master("acc0").bytes_moved / args.horizon
+        rows.append(
+            {
+                "scheme": kind,
+                "configured_B_cyc": configured,
+                "achieved_B_cyc": achieved,
+                "error_pct": 100 * regulation_error(achieved, configured),
+            }
+        )
+    print(format_table(rows, title="Regulation accuracy"))
+    return 0
+
+
+def cmd_resources(args) -> int:
+    model = ResourceModel()
+    rows = []
+    for channels in args.channels:
+        est = model.estimate(channels=channels, window_cycles=args.window)
+        rows.append(
+            {
+                "channels": channels,
+                "LUTs": est.luts,
+                "FFs": est.ffs,
+                "LUT_pct_ZU9EG": 100 * est.lut_fraction(),
+            }
+        )
+    print(format_table(rows, title="Regulator IP resource estimate"))
+    return 0
+
+
+def cmd_report(args) -> int:
+    from repro.analysis.report import render_report
+    from repro.soc.experiment import run_solo_baseline
+
+    spec = _spec_from_args(args)
+    config = zcu102(
+        num_accels=args.hogs, cpu_work=args.work, accel_regulator=spec
+    )
+    result = run_experiment(config)
+    solo = run_solo_baseline(config, "cpu0")
+    print(
+        render_report(
+            result,
+            title=(
+                f"Scenario: {args.hogs} hogs, regulation={args.kind}, "
+                f"share={args.share:.0%}"
+            ),
+            solo=solo,
+        )
+    )
+    return 0
+
+
+def cmd_scenario(args) -> int:
+    from repro.analysis.report import render_report
+    from repro.soc.experiment import run_solo_baseline
+    from repro.soc.scenarios import SCENARIOS, make_scenario
+
+    if args.list:
+        rows = [
+            {"scenario": s.name, "actors": len(s.actors),
+             "description": s.description}
+            for s in SCENARIOS.values()
+        ]
+        print(format_table(rows, title="Available scenarios"))
+        return 0
+    spec = _spec_from_args(args)
+    scenario = SCENARIOS.get(args.name)
+    if scenario is None:
+        print(f"error: unknown scenario {args.name!r}", file=sys.stderr)
+        return 2
+    regulators = {}
+    if spec is not None:
+        regulators = {
+            actor.name: spec for actor in scenario.actors if not actor.critical
+        }
+    config = make_scenario(args.name, regulators=regulators)
+    result = run_experiment(config, max_cycles=8_000_000)
+    critical = next(a.name for a in scenario.actors if a.critical)
+    solo = run_solo_baseline(config, critical, max_cycles=8_000_000)
+    print(
+        render_report(
+            result,
+            title=f"Scenario {args.name!r} (regulation={args.kind})",
+            solo=solo,
+        )
+    )
+    return 0
+
+
+def cmd_bound(args) -> int:
+    dram = zcu102_dram()
+    bound = worst_case_read_latency(
+        timing=dram.timing,
+        interconnect=zcu102_interconnect(),
+        co_runners=[
+            CoRunnerEnvelope(max_outstanding=8, burst_beats=16)
+            for _ in range(args.hogs)
+        ],
+        critical_burst_beats=4,
+        frfcfs_cap=dram.frfcfs_cap,
+        own_outstanding=2,
+    )
+    result = run_experiment(zcu102(num_accels=args.hogs, cpu_work=args.work))
+    rows = [
+        {
+            "hogs": args.hogs,
+            "analytic_bound_cyc": bound,
+            "measured_max_cyc": result.critical().latency_max,
+            "measured_p99_cyc": result.critical().latency_p99,
+            "bound_headroom": bound / max(1.0, result.critical().latency_max),
+        }
+    ]
+    print(format_table(rows, title="Worst-case latency bound vs measurement"))
+    return 0 if bound >= result.critical().latency_max else 1
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Cycle-level reproduction of 'Fine-Grained QoS Control via "
+            "Tightly-Coupled Bandwidth Monitoring and Regulation for "
+            "FPGA-based Heterogeneous SoCs' (DAC 2023)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("interfere", help="unregulated interference sweep")
+    p.add_argument("--hogs", type=int, default=4)
+    p.add_argument("--work", type=int, default=3000)
+    p.set_defaults(fn=cmd_interfere)
+
+    p = sub.add_parser("regulate", help="run one regulated scenario")
+    p.add_argument("--kind", default="tightly_coupled",
+                   choices=["none", "tightly_coupled", "memguard"])
+    p.add_argument("--share", type=float, default=0.1,
+                   help="per-hog share of channel peak")
+    p.add_argument("--window", type=int, default=256)
+    p.add_argument("--period", type=int, default=100_000)
+    p.add_argument("--hogs", type=int, default=4)
+    p.add_argument("--work", type=int, default=3000)
+    p.add_argument("--work-conserving", action="store_true")
+    p.add_argument("--reclaim", action="store_true")
+    p.set_defaults(fn=cmd_regulate)
+
+    p = sub.add_parser("accuracy", help="configured vs achieved bandwidth")
+    p.add_argument("--share", type=float, default=0.1)
+    p.add_argument("--window", type=int, default=1024)
+    p.add_argument("--period", type=int, default=100_000)
+    p.add_argument("--horizon", type=int, default=400_000)
+    p.add_argument("--work-conserving", action="store_true")
+    p.add_argument("--reclaim", action="store_true")
+    p.set_defaults(fn=cmd_accuracy)
+
+    p = sub.add_parser("resources", help="IP footprint estimate")
+    p.add_argument("--channels", type=int, nargs="+", default=[1, 2, 4, 8])
+    p.add_argument("--window", type=int, default=1024)
+    p.set_defaults(fn=cmd_resources)
+
+    p = sub.add_parser("bound", help="analytic worst-case latency bound")
+    p.add_argument("--hogs", type=int, default=4)
+    p.add_argument("--work", type=int, default=3000)
+    p.set_defaults(fn=cmd_bound)
+
+    p = sub.add_parser("scenario", help="run a named application scenario")
+    p.add_argument("name", nargs="?", default="adas")
+    p.add_argument("--list", action="store_true",
+                   help="list available scenarios and exit")
+    p.add_argument("--kind", default="tightly_coupled",
+                   choices=["none", "tightly_coupled", "memguard"])
+    p.add_argument("--share", type=float, default=0.1)
+    p.add_argument("--window", type=int, default=256)
+    p.add_argument("--period", type=int, default=100_000)
+    p.add_argument("--work-conserving", action="store_true")
+    p.add_argument("--reclaim", action="store_true")
+    p.set_defaults(fn=cmd_scenario)
+
+    p = sub.add_parser("report", help="full scenario report")
+    p.add_argument("--kind", default="tightly_coupled",
+                   choices=["none", "tightly_coupled", "memguard"])
+    p.add_argument("--share", type=float, default=0.1)
+    p.add_argument("--window", type=int, default=256)
+    p.add_argument("--period", type=int, default=100_000)
+    p.add_argument("--hogs", type=int, default=4)
+    p.add_argument("--work", type=int, default=3000)
+    p.add_argument("--work-conserving", action="store_true")
+    p.add_argument("--reclaim", action="store_true")
+    p.set_defaults(fn=cmd_report)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.fn(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -1,0 +1,29 @@
+"""DRAM device and controller model (substrate S3).
+
+The shared DRAM controller is the resource whose contention the
+reproduced paper regulates, so the model keeps the properties that
+matter for QoS studies:
+
+* a banked device with open-row (row-buffer) state, so access
+  *locality* changes service time (row hit vs miss vs conflict);
+* an FR-FCFS scheduler (row hits first, then oldest), the policy of
+  commercial controllers, with a starvation cap;
+* a serialized data bus -- the actual bandwidth bottleneck;
+* read/write turnaround penalties and periodic refresh.
+
+Absolute latencies are derived from a DDR4-like timing set expressed
+in fabric cycles; see :class:`repro.dram.timing.DramTiming`.
+"""
+
+from repro.dram.address_map import AddressMap
+from repro.dram.bank import Bank
+from repro.dram.controller import DramConfig, DramController
+from repro.dram.timing import DramTiming
+
+__all__ = [
+    "AddressMap",
+    "Bank",
+    "DramConfig",
+    "DramController",
+    "DramTiming",
+]

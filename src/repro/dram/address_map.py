@@ -1,0 +1,79 @@
+"""Physical address decoding: address -> (bank, row, column).
+
+The default layout is row:bank:column (bank bits between column and
+row bits), the common choice on the modelled SoC family because it
+spreads sequential streams across banks only at row granularity,
+keeping streaming accesses inside one row (maximizing row hits) while
+different large buffers land on different banks.
+
+An alternative ``bank_interleaved`` layout (bank bits directly above
+the burst bits) is provided for sensitivity studies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.errors import ConfigError
+
+
+def _is_pow2(value: int) -> bool:
+    return value > 0 and value & (value - 1) == 0
+
+
+@dataclass(frozen=True)
+class AddressMap:
+    """Bit-sliced DRAM address decoding.
+
+    Attributes:
+        num_banks: Bank count (power of two).
+        row_bytes: Row (page) size in bytes (power of two).
+        interleave: ``"row_bank_col"`` (default) or ``"bank_interleaved"``.
+        interleave_bytes: For ``bank_interleaved``, the stripe width in
+            bytes after which the bank index increments.
+    """
+
+    num_banks: int = 8
+    row_bytes: int = 2048
+    interleave: str = "row_bank_col"
+    interleave_bytes: int = 256
+
+    def __post_init__(self) -> None:
+        if not _is_pow2(self.num_banks):
+            raise ConfigError(f"num_banks must be a power of two, got {self.num_banks}")
+        if not _is_pow2(self.row_bytes):
+            raise ConfigError(f"row_bytes must be a power of two, got {self.row_bytes}")
+        if self.interleave not in ("row_bank_col", "bank_interleaved"):
+            raise ConfigError(f"unknown interleave {self.interleave!r}")
+        if not _is_pow2(self.interleave_bytes):
+            raise ConfigError(
+                f"interleave_bytes must be a power of two, got {self.interleave_bytes}"
+            )
+
+    def decode(self, addr: int) -> Tuple[int, int]:
+        """Decode a byte address into ``(bank, row)``.
+
+        Column position within the row does not affect timing at this
+        abstraction level, so it is not returned.
+        """
+        if addr < 0:
+            raise ConfigError(f"negative address {addr:#x}")
+        if self.interleave == "row_bank_col":
+            row_index_global = addr // self.row_bytes
+            bank = row_index_global % self.num_banks
+            row = row_index_global // self.num_banks
+            return bank, row
+        # bank_interleaved: stripe banks at interleave_bytes granularity.
+        stripe = addr // self.interleave_bytes
+        bank = stripe % self.num_banks
+        # Row index within the bank: fold out the bank bits.
+        per_bank_offset = (
+            stripe // self.num_banks
+        ) * self.interleave_bytes + addr % self.interleave_bytes
+        row = per_bank_offset // self.row_bytes
+        return bank, row
+
+    def same_row(self, addr_a: int, addr_b: int) -> bool:
+        """True when both addresses fall in the same (bank, row)."""
+        return self.decode(addr_a) == self.decode(addr_b)

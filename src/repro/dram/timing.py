@@ -1,0 +1,91 @@
+"""DRAM timing parameters.
+
+All values are expressed in *fabric cycles* (the simulator's reference
+clock).  The defaults approximate a DDR4-2400 64-bit channel behind a
+250 MHz fabric: the controller moves ``bus_bytes_per_cycle`` bytes per
+fabric cycle when streaming row hits, and pays activate/precharge
+penalties scaled to that clock.
+
+The three derived service classes are the ones QoS analysis cares
+about:
+
+* **row hit** -- column access only (``t_cas``).
+* **row miss** (bank closed) -- activate + column access.
+* **row conflict** (other row open) -- precharge + activate + column.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class DramTiming:
+    """Timing set for the modelled DRAM channel, in fabric cycles.
+
+    Attributes:
+        t_cas: Column access latency (CAS, a.k.a. CL).
+        t_rcd: Row-to-column delay (activate until column ready).
+        t_rp: Precharge time (closing an open row).
+        beat_cycles: Data-bus cycles per data beat (1 = full rate).
+        bus_bytes_per_beat: Bytes moved per data-bus beat.
+        rw_turnaround: Extra cycles when switching between read and
+            write streams on the data bus.
+        t_refi: Average refresh interval (0 disables refresh).
+        t_rfc: Refresh cycle time (bus blocked while refreshing).
+    """
+
+    t_cas: int = 14
+    t_rcd: int = 14
+    t_rp: int = 14
+    beat_cycles: int = 1
+    bus_bytes_per_beat: int = 16
+    rw_turnaround: int = 6
+    t_refi: int = 1950  # ~7.8 us at 250 MHz
+    t_rfc: int = 88  # ~350 ns at 250 MHz
+
+    def __post_init__(self) -> None:
+        for field_name in ("t_cas", "t_rcd", "t_rp"):
+            if getattr(self, field_name) < 1:
+                raise ConfigError(f"{field_name} must be >= 1")
+        if self.beat_cycles < 1:
+            raise ConfigError("beat_cycles must be >= 1")
+        if self.bus_bytes_per_beat < 1:
+            raise ConfigError("bus_bytes_per_beat must be >= 1")
+        if self.rw_turnaround < 0:
+            raise ConfigError("rw_turnaround must be >= 0")
+        if self.t_refi < 0 or self.t_rfc < 0:
+            raise ConfigError("refresh timings must be >= 0")
+        if self.t_refi and self.t_rfc >= self.t_refi:
+            raise ConfigError("t_rfc must be smaller than t_refi")
+
+    # ------------------------------------------------------------------
+    # derived service latencies (command portion, excludes data beats)
+    # ------------------------------------------------------------------
+    @property
+    def hit_latency(self) -> int:
+        """Command cycles for a row-buffer hit."""
+        return self.t_cas
+
+    @property
+    def miss_latency(self) -> int:
+        """Command cycles when the bank is closed (activate needed)."""
+        return self.t_rcd + self.t_cas
+
+    @property
+    def conflict_latency(self) -> int:
+        """Command cycles when another row is open (precharge first)."""
+        return self.t_rp + self.t_rcd + self.t_cas
+
+    def data_cycles(self, beats: int) -> int:
+        """Data-bus occupancy for a burst of ``beats`` beats."""
+        if beats < 1:
+            raise ConfigError(f"burst must have >= 1 beat, got {beats}")
+        return beats * self.beat_cycles
+
+    @property
+    def peak_bytes_per_cycle(self) -> float:
+        """Upper bound on sustained bandwidth (streaming row hits)."""
+        return self.bus_bytes_per_beat / self.beat_cycles

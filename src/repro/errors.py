@@ -1,0 +1,42 @@
+"""Exception hierarchy for the ``repro`` package.
+
+All errors raised by the library derive from :class:`ReproError`, so
+callers can catch a single type at the API boundary.  Subclasses mark
+the subsystem in which the error originated.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by this package."""
+
+
+class ConfigError(ReproError):
+    """A configuration object is inconsistent or out of range."""
+
+
+class SimulationError(ReproError):
+    """The simulation kernel detected an impossible state.
+
+    Examples: scheduling an event in the past, running a simulator
+    that has already been finalized, or an event callback raising
+    during dispatch.
+    """
+
+
+class ProtocolError(ReproError):
+    """A component violated the transaction-level AXI protocol.
+
+    Examples: completing a transaction twice, issuing more outstanding
+    transactions than the port allows, or returning a response for a
+    transaction the interconnect never accepted.
+    """
+
+
+class RegulationError(ReproError):
+    """A regulator was configured or driven inconsistently.
+
+    Examples: a negative budget, a zero-length replenish window, or
+    charging a transaction that was never admitted.
+    """

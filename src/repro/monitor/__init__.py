@@ -1,0 +1,18 @@
+"""Bandwidth and latency monitoring (substrate S5).
+
+Monitors are passive observers of port traffic:
+
+* :class:`repro.monitor.counters.BeatCounter` -- total beats/bytes per
+  master (the raw PMU-style counter software regulators poll).
+* :class:`repro.monitor.window.WindowedBandwidthMonitor` -- per-window
+  byte counts, the fine-grained view the tightly-coupled IP exports;
+  includes overshoot analysis against a budget.
+* :class:`repro.monitor.histogram.LatencyHistogram` -- log-bucketed
+  latency distribution with CDF export for the E4 figures.
+"""
+
+from repro.monitor.counters import BeatCounter
+from repro.monitor.histogram import LatencyHistogram
+from repro.monitor.window import WindowedBandwidthMonitor
+
+__all__ = ["BeatCounter", "LatencyHistogram", "WindowedBandwidthMonitor"]

@@ -1,0 +1,199 @@
+"""QoS admission control.
+
+The run-time counterpart of the analytic bounds: before programming a
+new reservation into a regulator, check that the system can still
+honour everything it already promised.  Two tests gate admission:
+
+* **capacity** -- the sum of all reserved rates plus the protected
+  head-room must fit within the platform's *achievable* (calibrated)
+  bandwidth;
+* **latency** (optional) -- with the new actor's interference
+  envelope added, the analytic worst-case read latency of the
+  critical task must stay within its declared tolerance.
+
+This is the component that turns the regulator IP into a QoS
+*contract* system: a reservation request either yields an enforceable
+budget or a refusal with the reason.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.errors import ConfigError
+from repro.analysis.bounds import CoRunnerEnvelope, worst_case_read_latency
+from repro.axi.interconnect import InterconnectConfig
+from repro.dram.timing import DramTiming
+from repro.qos.budget import BandwidthBudget
+
+
+@dataclass(frozen=True)
+class Reservation:
+    """One admitted bandwidth contract.
+
+    Attributes:
+        master: Actor name.
+        rate: Reserved rate.
+        envelope: The actor's interference envelope (for the latency
+            test).
+    """
+
+    master: str
+    rate: BandwidthBudget
+    envelope: CoRunnerEnvelope
+
+
+@dataclass(frozen=True)
+class AdmissionDecision:
+    """Outcome of an admission test."""
+
+    admitted: bool
+    reason: str
+    projected_total_rate: float = 0.0
+    projected_latency_bound: Optional[int] = None
+
+
+class AdmissionController:
+    """Tracks reservations and gates new ones.
+
+    Args:
+        achievable_peak: Calibrated sustainable bandwidth (B/cycle).
+        protected_headroom: Rate (B/cycle) that must always remain
+            unreserved for the protected/critical actor(s).
+        latency_target: Optional worst-case latency tolerance (cycles)
+            of the critical task; enables the analytic latency test.
+        timing / interconnect: Platform parameters for the latency
+            test (required when ``latency_target`` is set).
+        critical_burst_beats / critical_outstanding: The critical
+            actor's own parameters for the bound.
+        frfcfs_cap: The DRAM scheduler's starvation cap.
+    """
+
+    def __init__(
+        self,
+        achievable_peak: float,
+        protected_headroom: float,
+        latency_target: Optional[int] = None,
+        timing: Optional[DramTiming] = None,
+        interconnect: Optional[InterconnectConfig] = None,
+        critical_burst_beats: int = 4,
+        critical_outstanding: int = 2,
+        frfcfs_cap: int = 4,
+    ) -> None:
+        if achievable_peak <= 0:
+            raise ConfigError("achievable_peak must be positive")
+        if not 0 <= protected_headroom < achievable_peak:
+            raise ConfigError(
+                "protected_headroom must be in [0, achievable_peak)"
+            )
+        if latency_target is not None:
+            if latency_target < 1:
+                raise ConfigError("latency_target must be >= 1")
+            if timing is None or interconnect is None:
+                raise ConfigError(
+                    "latency test needs timing and interconnect parameters"
+                )
+        self.achievable_peak = achievable_peak
+        self.protected_headroom = protected_headroom
+        self.latency_target = latency_target
+        self.timing = timing
+        self.interconnect = interconnect
+        self.critical_burst_beats = critical_burst_beats
+        self.critical_outstanding = critical_outstanding
+        self.frfcfs_cap = frfcfs_cap
+        self._reservations: Dict[str, Reservation] = {}
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    @property
+    def reserved_rate(self) -> float:
+        return sum(r.rate.bytes_per_cycle for r in self._reservations.values())
+
+    @property
+    def available_rate(self) -> float:
+        return self.achievable_peak - self.protected_headroom - self.reserved_rate
+
+    def reservations(self) -> Dict[str, Reservation]:
+        return dict(self._reservations)
+
+    # ------------------------------------------------------------------
+    # admission
+    # ------------------------------------------------------------------
+    def _latency_bound_with(self, extra: Optional[Reservation]) -> int:
+        envelopes = [r.envelope for r in self._reservations.values()]
+        if extra is not None:
+            envelopes.append(extra.envelope)
+        return worst_case_read_latency(
+            timing=self.timing,
+            interconnect=self.interconnect,
+            co_runners=envelopes,
+            critical_burst_beats=self.critical_burst_beats,
+            frfcfs_cap=self.frfcfs_cap,
+            own_outstanding=self.critical_outstanding,
+        )
+
+    def check(
+        self,
+        master: str,
+        rate: BandwidthBudget,
+        envelope: CoRunnerEnvelope,
+    ) -> AdmissionDecision:
+        """Test a reservation without committing it."""
+        if master in self._reservations:
+            return AdmissionDecision(
+                admitted=False,
+                reason=f"{master!r} already holds a reservation",
+            )
+        projected = self.reserved_rate + rate.bytes_per_cycle
+        if projected > self.achievable_peak - self.protected_headroom + 1e-9:
+            return AdmissionDecision(
+                admitted=False,
+                reason=(
+                    f"capacity: {projected:.2f} B/cyc reserved would leave "
+                    f"less than the protected head-room "
+                    f"({self.protected_headroom:.2f} B/cyc) of the "
+                    f"achievable {self.achievable_peak:.2f} B/cyc"
+                ),
+                projected_total_rate=projected,
+            )
+        bound = None
+        if self.latency_target is not None:
+            candidate = Reservation(master, rate, envelope)
+            bound = self._latency_bound_with(candidate)
+            if bound > self.latency_target:
+                return AdmissionDecision(
+                    admitted=False,
+                    reason=(
+                        f"latency: worst-case {bound} cycles exceeds the "
+                        f"critical target of {self.latency_target}"
+                    ),
+                    projected_total_rate=projected,
+                    projected_latency_bound=bound,
+                )
+        return AdmissionDecision(
+            admitted=True,
+            reason="ok",
+            projected_total_rate=projected,
+            projected_latency_bound=bound,
+        )
+
+    def admit(
+        self,
+        master: str,
+        rate: BandwidthBudget,
+        envelope: CoRunnerEnvelope,
+    ) -> AdmissionDecision:
+        """Test and, on success, record a reservation."""
+        decision = self.check(master, rate, envelope)
+        if decision.admitted:
+            self._reservations[master] = Reservation(master, rate, envelope)
+        return decision
+
+    def release(self, master: str) -> None:
+        """Drop a reservation (actor finished or was torn down)."""
+        try:
+            del self._reservations[master]
+        except KeyError:
+            raise ConfigError(f"no reservation held by {master!r}") from None

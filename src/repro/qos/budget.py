@@ -1,0 +1,90 @@
+"""Bandwidth budget arithmetic.
+
+A :class:`BandwidthBudget` is a rate (bytes per cycle) with
+conversions to and from the units used at the three layers involved:
+datasheets (GB/s), regulator registers (bytes per window), and
+analysis (fraction of the DRAM channel's peak).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+from repro.sim.config import ClockSpec
+
+
+@dataclass(frozen=True)
+class BandwidthBudget:
+    """A bandwidth allowance expressed as bytes per fabric cycle."""
+
+    bytes_per_cycle: float
+
+    def __post_init__(self) -> None:
+        if self.bytes_per_cycle <= 0:
+            raise ConfigError(
+                f"budget must be positive, got {self.bytes_per_cycle} B/cycle"
+            )
+
+    # ------------------------------------------------------------------
+    # constructors
+    # ------------------------------------------------------------------
+    @staticmethod
+    def from_gbps(gbps: float, clock: ClockSpec) -> "BandwidthBudget":
+        """Build from a GB/s figure under a given fabric clock."""
+        return BandwidthBudget(clock.bytes_per_cycle_from_gbps(gbps))
+
+    @staticmethod
+    def from_fraction_of_peak(
+        fraction: float, peak_bytes_per_cycle: float
+    ) -> "BandwidthBudget":
+        """Build as a fraction (0..1] of the channel's peak rate."""
+        if not 0 < fraction <= 1:
+            raise ConfigError(f"fraction must be in (0, 1], got {fraction}")
+        if peak_bytes_per_cycle <= 0:
+            raise ConfigError("peak rate must be positive")
+        return BandwidthBudget(fraction * peak_bytes_per_cycle)
+
+    @staticmethod
+    def from_window(budget_bytes: int, window_cycles: int) -> "BandwidthBudget":
+        """Build from regulator register values."""
+        if window_cycles < 1:
+            raise ConfigError("window_cycles must be >= 1")
+        if budget_bytes < 1:
+            raise ConfigError("budget_bytes must be >= 1")
+        return BandwidthBudget(budget_bytes / window_cycles)
+
+    # ------------------------------------------------------------------
+    # conversions
+    # ------------------------------------------------------------------
+    def to_gbps(self, clock: ClockSpec) -> float:
+        return clock.gbps_from_bytes_per_cycle(self.bytes_per_cycle)
+
+    def to_window_bytes(self, window_cycles: int) -> int:
+        """Bytes-per-window register value for a given window.
+
+        Rounds to the nearest byte but never below 1 (a zero budget
+        would wedge the regulated master forever).
+        """
+        if window_cycles < 1:
+            raise ConfigError("window_cycles must be >= 1")
+        return max(1, round(self.bytes_per_cycle * window_cycles))
+
+    def fraction_of(self, peak_bytes_per_cycle: float) -> float:
+        if peak_bytes_per_cycle <= 0:
+            raise ConfigError("peak rate must be positive")
+        return self.bytes_per_cycle / peak_bytes_per_cycle
+
+    # ------------------------------------------------------------------
+    # arithmetic
+    # ------------------------------------------------------------------
+    def scaled(self, factor: float) -> "BandwidthBudget":
+        if factor <= 0:
+            raise ConfigError(f"scale factor must be positive, got {factor}")
+        return BandwidthBudget(self.bytes_per_cycle * factor)
+
+    def split(self, shares: int) -> "BandwidthBudget":
+        """Divide evenly among ``shares`` actors."""
+        if shares < 1:
+            raise ConfigError(f"shares must be >= 1, got {shares}")
+        return BandwidthBudget(self.bytes_per_cycle / shares)

@@ -1,0 +1,134 @@
+"""The run-time QoS controller.
+
+The software component that owns all regulator instances (it models
+the host-side driver of the tightly-coupled IPs, or the MemGuard
+daemon for the software baseline).  It translates policies into
+per-regulator register values and performs run-time budget changes,
+each with the latency the underlying mechanism imposes.
+
+The reconfiguration log it keeps (requested cycle vs effective cycle)
+feeds experiment E7 (response-latency table).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.errors import ConfigError, RegulationError
+from repro.sim.kernel import Simulator
+from repro.qos.budget import BandwidthBudget
+from repro.qos.policy import QosPolicy
+from repro.regulation.base import BandwidthRegulator
+from repro.regulation.memguard import MemGuardRegulator
+from repro.regulation.tightly_coupled import TightlyCoupledRegulator
+
+
+@dataclass(frozen=True)
+class ReconfigEvent:
+    """One entry of the reconfiguration log."""
+
+    master: str
+    requested_at: int
+    effective_at: int
+    budget_bytes: int
+
+    @property
+    def latency(self) -> int:
+        return self.effective_at - self.requested_at
+
+
+class QosManager:
+    """Owns regulators and applies policies / budget changes."""
+
+    def __init__(self, sim: Simulator, peak_bytes_per_cycle: float) -> None:
+        if peak_bytes_per_cycle <= 0:
+            raise ConfigError("peak_bytes_per_cycle must be positive")
+        self.sim = sim
+        self.peak_bytes_per_cycle = peak_bytes_per_cycle
+        self._regulators: Dict[str, BandwidthRegulator] = {}
+        self.log: List[ReconfigEvent] = []
+
+    # ------------------------------------------------------------------
+    # registration
+    # ------------------------------------------------------------------
+    def register(self, master: str, regulator: BandwidthRegulator) -> None:
+        if master in self._regulators:
+            raise ConfigError(f"master {master!r} registered twice")
+        self._regulators[master] = regulator
+
+    def regulator(self, master: str) -> BandwidthRegulator:
+        try:
+            return self._regulators[master]
+        except KeyError:
+            raise ConfigError(f"no regulator registered for {master!r}") from None
+
+    @property
+    def masters(self) -> List[str]:
+        return sorted(self._regulators)
+
+    # ------------------------------------------------------------------
+    # budget programming
+    # ------------------------------------------------------------------
+    def set_budget(self, master: str, budget: BandwidthBudget) -> ReconfigEvent:
+        """Program ``master``'s regulator to enforce ``budget``.
+
+        The byte value written depends on the regulator's own window:
+        fine windows for the tightly-coupled IP, the OS period for
+        MemGuard.
+
+        Returns:
+            The log entry, including when the change takes effect.
+        """
+        regulator = self.regulator(master)
+        window = self._window_of(regulator)
+        budget_bytes = budget.to_window_bytes(window)
+        now = self.sim.now
+        effective_at = regulator.set_budget_bytes(budget_bytes, now)
+        event = ReconfigEvent(
+            master=master,
+            requested_at=now,
+            effective_at=effective_at,
+            budget_bytes=budget_bytes,
+        )
+        self.log.append(event)
+        return event
+
+    def apply_policy(self, policy: QosPolicy) -> List[ReconfigEvent]:
+        """Apply a policy to every registered master it names."""
+        if not policy.is_feasible():
+            raise ConfigError(
+                f"policy {policy.name!r} oversubscribes the channel "
+                f"({policy.total_share:.2f} of peak)"
+            )
+        events = []
+        for master in self.masters:
+            if master not in policy.shares:
+                continue
+            budget = BandwidthBudget.from_fraction_of_peak(
+                policy.shares[master], self.peak_bytes_per_cycle
+            )
+            events.append(self.set_budget(master, budget))
+        return events
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    def current_budget(self, master: str) -> Optional[BandwidthBudget]:
+        """The rate currently enforced for ``master`` (None if n/a)."""
+        regulator = self.regulator(master)
+        try:
+            window = self._window_of(regulator)
+        except RegulationError:
+            return None
+        return BandwidthBudget.from_window(regulator.budget_bytes, window)
+
+    @staticmethod
+    def _window_of(regulator: BandwidthRegulator) -> int:
+        if isinstance(regulator, TightlyCoupledRegulator):
+            return regulator.window_cycles
+        if isinstance(regulator, MemGuardRegulator):
+            return regulator.period_cycles
+        raise RegulationError(
+            f"{type(regulator).__name__} has no budget window to program"
+        )

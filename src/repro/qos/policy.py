@@ -1,0 +1,102 @@
+"""QoS partitioning policies.
+
+A :class:`QosPolicy` is an assignment of bandwidth budgets (fractions
+of the channel peak) to master names.  Policies are pure data; the
+:class:`~repro.qos.manager.QosManager` applies them to live
+regulators.
+
+Two canonical constructors cover the paper's scenarios:
+
+* :func:`proportional_shares` -- explicit fractions per master.
+* :func:`critical_plus_besteffort` -- reserve a fraction for the
+  critical actor(s) and split a best-effort allowance evenly among
+  the rest (the configuration used in E5's utilization/slowdown
+  trade-off sweep).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List
+
+from repro.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class QosPolicy:
+    """Bandwidth shares per master, as fractions of channel peak.
+
+    Attributes:
+        shares: Mapping from master name to peak fraction (0..1).
+            Masters absent from the map are left unregulated by
+            :class:`~repro.qos.manager.QosManager.apply_policy`.
+        name: Optional label for reports.
+    """
+
+    shares: Dict[str, float] = field(default_factory=dict)
+    name: str = "policy"
+
+    def __post_init__(self) -> None:
+        for master, share in self.shares.items():
+            if not 0 < share <= 1:
+                raise ConfigError(
+                    f"share for {master!r} must be in (0, 1], got {share}"
+                )
+
+    @property
+    def total_share(self) -> float:
+        return sum(self.shares.values())
+
+    def is_feasible(self, headroom: float = 1.0) -> bool:
+        """True when the summed shares fit within ``headroom`` of peak."""
+        return self.total_share <= headroom + 1e-9
+
+    def share_of(self, master: str) -> float:
+        try:
+            return self.shares[master]
+        except KeyError:
+            raise ConfigError(f"policy {self.name!r} has no share for {master!r}")
+
+
+def proportional_shares(shares: Dict[str, float], name: str = "proportional") -> QosPolicy:
+    """Build a policy from explicit per-master fractions."""
+    return QosPolicy(shares=dict(shares), name=name)
+
+
+def critical_plus_besteffort(
+    critical: Iterable[str],
+    best_effort: Iterable[str],
+    critical_share: float,
+    best_effort_total: float,
+    name: str = "critical+be",
+) -> QosPolicy:
+    """Reserve bandwidth for critical actors, split the rest evenly.
+
+    Args:
+        critical: Names of the protected masters; each receives
+            ``critical_share``.
+        best_effort: Names of the remaining masters; together they
+            receive ``best_effort_total``, split evenly.
+        critical_share: Peak fraction per critical master.
+        best_effort_total: Peak fraction shared by all best-effort
+            masters.
+
+    Returns:
+        The combined policy.
+
+    Raises:
+        ConfigError: on empty groups where a share was requested, or
+            shares outside (0, 1].
+    """
+    critical_list: List[str] = list(critical)
+    best_effort_list: List[str] = list(best_effort)
+    shares: Dict[str, float] = {}
+    for master in critical_list:
+        shares[master] = critical_share
+    if best_effort_list:
+        per_master = best_effort_total / len(best_effort_list)
+        for master in best_effort_list:
+            shares[master] = per_master
+    elif best_effort_total:
+        raise ConfigError("best_effort_total given but no best-effort masters")
+    return QosPolicy(shares=shares, name=name)

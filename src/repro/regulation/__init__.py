@@ -1,0 +1,58 @@
+"""Bandwidth regulation (substrate S6 -- the paper's contribution).
+
+Six regulator families share one interface
+(:class:`repro.regulation.base.BandwidthRegulator`):
+
+* :class:`repro.regulation.tightly_coupled.TightlyCoupledRegulator` --
+  **the contribution**: a hardware monitor+regulator pair inline on
+  the master port.  Fine replenish windows (tens to thousands of
+  cycles), burst-aware charging at the address handshake, optional
+  credit carry-over, cycle-accurate feedback, and register-write
+  reconfiguration within a few bus cycles.
+* :class:`repro.regulation.memguard.MemGuardRegulator` -- the
+  software baseline: OS-tick periods (~1 ms), PMU-counter overflow
+  interrupts with software latency, reconfiguration at period
+  boundaries.
+* :class:`repro.regulation.tdma.TdmaRegulator` -- time-division
+  slots (the hard-real-time composability baseline).
+* :class:`repro.regulation.prem.PremRegulator` -- PREM-style mutual
+  exclusion with protected critical memory phases.
+* :class:`repro.regulation.static_qos.StaticQosRegulator` -- static
+  AXI QoS priorities only (no rate control).
+* :class:`repro.regulation.noreg.NoRegulation` -- monitored
+  passthrough.
+
+:func:`make_regulator` builds any of them from a
+:class:`RegulatorSpec`, which is what the SoC platform layer consumes.
+"""
+
+from repro.regulation.base import BandwidthRegulator
+from repro.regulation.factory import RegulatorSpec, make_regulator
+from repro.regulation.memguard import MemGuardConfig, MemGuardRegulator, ReclaimPool
+from repro.regulation.noreg import NoRegulation
+from repro.regulation.prem import PremController, PremRegulator
+from repro.regulation.static_qos import StaticQosRegulator
+from repro.regulation.tdma import TdmaRegulator, TdmaSchedule
+from repro.regulation.tightly_coupled import (
+    TightlyCoupledConfig,
+    TightlyCoupledRegulator,
+)
+from repro.regulation.token_bucket import TokenBucket
+
+__all__ = [
+    "BandwidthRegulator",
+    "RegulatorSpec",
+    "make_regulator",
+    "MemGuardConfig",
+    "MemGuardRegulator",
+    "ReclaimPool",
+    "NoRegulation",
+    "PremController",
+    "PremRegulator",
+    "StaticQosRegulator",
+    "TdmaRegulator",
+    "TdmaSchedule",
+    "TightlyCoupledConfig",
+    "TightlyCoupledRegulator",
+    "TokenBucket",
+]

@@ -1,0 +1,66 @@
+"""Unit helpers shared by configuration objects.
+
+All simulator time is counted in cycles of a single reference clock
+(the FPGA fabric / interconnect clock).  :class:`ClockSpec` converts
+between cycles, nanoseconds, and bandwidth figures so configurations
+can be written in datasheet units (MHz, GB/s, microseconds) while the
+engine stays purely integer-cycle based.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class ClockSpec:
+    """The reference clock of the modelled SoC fabric.
+
+    Attributes:
+        freq_mhz: Reference clock frequency in MHz.
+    """
+
+    freq_mhz: float = 250.0
+
+    def __post_init__(self) -> None:
+        if self.freq_mhz <= 0:
+            raise ConfigError(f"clock frequency must be positive, got {self.freq_mhz}")
+
+    @property
+    def period_ns(self) -> float:
+        """Clock period in nanoseconds."""
+        return 1000.0 / self.freq_mhz
+
+    def cycles_from_ns(self, ns: float) -> int:
+        """Round a duration in nanoseconds to whole cycles (>= 1 if ns > 0)."""
+        if ns < 0:
+            raise ConfigError(f"duration must be non-negative, got {ns} ns")
+        if ns == 0:
+            return 0
+        return max(1, round(ns / self.period_ns))
+
+    def cycles_from_us(self, us: float) -> int:
+        return self.cycles_from_ns(us * 1000.0)
+
+    def ns_from_cycles(self, cycles: int) -> float:
+        return cycles * self.period_ns
+
+    def bytes_per_cycle_from_gbps(self, gbps: float) -> float:
+        """Convert GB/s (decimal gigabytes) to bytes per cycle."""
+        if gbps < 0:
+            raise ConfigError(f"bandwidth must be non-negative, got {gbps} GB/s")
+        bytes_per_second = gbps * 1e9
+        cycles_per_second = self.freq_mhz * 1e6
+        return bytes_per_second / cycles_per_second
+
+    def gbps_from_bytes_per_cycle(self, bpc: float) -> float:
+        """Convert bytes per cycle to GB/s (decimal gigabytes)."""
+        return bpc * self.freq_mhz * 1e6 / 1e9
+
+    def gbps_from_bytes(self, nbytes: float, cycles: int) -> float:
+        """Average bandwidth over an interval, in GB/s."""
+        if cycles <= 0:
+            raise ConfigError(f"interval must be positive, got {cycles} cycles")
+        return self.gbps_from_bytes_per_cycle(nbytes / cycles)

@@ -1,0 +1,127 @@
+"""Event primitives for the simulation kernel.
+
+Events are ordered by ``(time, priority, sequence)``.  The sequence
+number is a monotonically increasing tie-breaker, which makes event
+dispatch fully deterministic: two events scheduled for the same cycle
+at the same priority always fire in scheduling order.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, List, Optional
+
+from repro.errors import SimulationError
+
+
+class Event:
+    """A single scheduled callback.
+
+    Attributes:
+        time: Absolute cycle at which the event fires.
+        priority: Lower values fire first within the same cycle.
+            Components use priorities to model intra-cycle ordering
+            (e.g. regulators replenish *before* ports retry).
+        seq: Deterministic tie-breaker assigned by the queue.
+        callback: Zero-argument callable invoked at dispatch.
+        cancelled: When True the event is skipped at dispatch time.
+        daemon: Daemon events (periodic background activity such as
+            DRAM refresh or OS ticks) do not keep a simulation run
+            alive: when only daemons remain, the run is considered
+            drained.
+    """
+
+    __slots__ = ("time", "priority", "seq", "callback", "cancelled", "daemon")
+
+    def __init__(
+        self,
+        time: int,
+        priority: int,
+        seq: int,
+        callback: Callable[[], Any],
+        daemon: bool = False,
+    ) -> None:
+        self.time = time
+        self.priority = priority
+        self.seq = seq
+        self.callback = callback
+        self.cancelled = False
+        self.daemon = daemon
+
+    def cancel(self) -> None:
+        """Mark the event so it is ignored when popped."""
+        self.cancelled = True
+
+    def __lt__(self, other: "Event") -> bool:
+        return (self.time, self.priority, self.seq) < (
+            other.time,
+            other.priority,
+            other.seq,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "cancelled" if self.cancelled else "pending"
+        return f"Event(t={self.time}, prio={self.priority}, seq={self.seq}, {state})"
+
+
+class EventQueue:
+    """A deterministic priority queue of :class:`Event` objects."""
+
+    def __init__(self) -> None:
+        self._heap: List[Event] = []
+        self._next_seq = 0
+        self._live_foreground = 0
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    @property
+    def live_foreground(self) -> int:
+        """Pending non-daemon, non-cancelled events (approximate upper
+        bound: cancellation is only accounted when events are popped or
+        explicitly discarded via :meth:`Event.cancel` bookkeeping)."""
+        return self._live_foreground
+
+    def push(
+        self,
+        time: int,
+        priority: int,
+        callback: Callable[[], Any],
+        daemon: bool = False,
+    ) -> Event:
+        """Create and enqueue an event; returns it so it can be cancelled."""
+        event = Event(time, priority, self._next_seq, callback, daemon=daemon)
+        self._next_seq += 1
+        heapq.heappush(self._heap, event)
+        if not daemon:
+            self._live_foreground += 1
+        return event
+
+    def _account_removed(self, event: Event) -> None:
+        if not event.daemon:
+            self._live_foreground -= 1
+
+    def pop(self) -> Event:
+        """Remove and return the earliest non-cancelled event.
+
+        Raises:
+            SimulationError: if the queue holds no live events.
+        """
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            self._account_removed(event)
+            if not event.cancelled:
+                return event
+        raise SimulationError("pop() on an empty event queue")
+
+    def peek_time(self) -> Optional[int]:
+        """Return the firing time of the next live event, or None."""
+        while self._heap and self._heap[0].cancelled:
+            self._account_removed(heapq.heappop(self._heap))
+        if not self._heap:
+            return None
+        return self._heap[0].time
+
+    def clear(self) -> None:
+        self._heap.clear()
+        self._live_foreground = 0

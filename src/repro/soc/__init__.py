@@ -1,0 +1,36 @@
+"""SoC platform assembly (substrate S8).
+
+Wires all substrates into a runnable system:
+
+* :class:`repro.soc.platform.Platform` -- builds kernel, DRAM,
+  interconnect, ports, regulators and masters from a declarative
+  :class:`repro.soc.platform.PlatformConfig`.
+* :mod:`repro.soc.presets` -- ready-made configurations, including
+  the ZCU102-like board model the experiments use.
+* :mod:`repro.soc.experiment` -- one-call experiment runner returning
+  a structured :class:`repro.soc.experiment.PlatformResult`.
+"""
+
+from repro.soc.experiment import PlatformResult, run_experiment, run_solo_baseline
+from repro.soc.hierarchy import TwoLevelConfig, TwoLevelPlatform
+from repro.soc.platform import MasterSpec, Platform, PlatformConfig
+from repro.soc.presets import kv260, zcu102
+from repro.soc.provision import RegulatorProvisioner
+from repro.soc.scenarios import SCENARIOS, Scenario, make_scenario
+
+__all__ = [
+    "PlatformResult",
+    "run_experiment",
+    "run_solo_baseline",
+    "MasterSpec",
+    "Platform",
+    "PlatformConfig",
+    "TwoLevelConfig",
+    "TwoLevelPlatform",
+    "RegulatorProvisioner",
+    "SCENARIOS",
+    "Scenario",
+    "make_scenario",
+    "kv260",
+    "zcu102",
+]

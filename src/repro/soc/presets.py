@@ -1,0 +1,226 @@
+"""Ready-made platform configurations.
+
+:func:`zcu102` models the evaluation board of the reproduced paper's
+research line (Xilinx Zynq UltraScale+ ZCU102-class): a quad-core
+ARM host and FPGA-fabric accelerators sharing one DDR channel through
+the PS interconnect.  Model parameters (see DESIGN.md, section 3):
+
+* fabric reference clock 250 MHz;
+* 128-bit data path => 16 B/beat, channel peak 4 GB/s sustained
+  (the effective per-port envelope of the PS DDR controller, not the
+  raw DDR4 pin rate);
+* DDR4-like timings scaled to fabric cycles, 8 banks, 2 KiB rows;
+* CPU ports with small outstanding limits (A53 miss queues), FPGA
+  ports with deep DMA pipelines.
+
+Every experiment builds on this preset so results stay comparable.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.errors import ConfigError
+from repro.sim.config import ClockSpec
+from repro.axi.interconnect import InterconnectConfig
+from repro.dram.address_map import AddressMap
+from repro.dram.controller import DramConfig
+from repro.dram.timing import DramTiming
+from repro.regulation.factory import RegulatorSpec
+from repro.soc.platform import MasterSpec, PlatformConfig
+
+#: Default region size carved out per master (keeps actors in
+#: disjoint DRAM rows so interference is purely about shared
+#: controller/bus resources, as in the paper's setup).
+REGION_BYTES = 4 << 20
+
+#: Base of the first master's region (above a reserved low range).
+REGION_FLOOR = 0x1000_0000
+
+#: Default work quantum of the critical core (cache-line transfers).
+CRITICAL_ACCESSES = 20_000
+
+
+def zcu102_clock() -> ClockSpec:
+    return ClockSpec(freq_mhz=250.0)
+
+
+def zcu102_dram(scheduler: str = "frfcfs") -> DramConfig:
+    return DramConfig(
+        timing=DramTiming(
+            t_cas=14,
+            t_rcd=14,
+            t_rp=14,
+            beat_cycles=1,
+            bus_bytes_per_beat=16,
+            rw_turnaround=6,
+            t_refi=1950,
+            t_rfc=88,
+        ),
+        address_map=AddressMap(num_banks=8, row_bytes=2048),
+        scheduler=scheduler,
+    )
+
+
+def zcu102_interconnect() -> InterconnectConfig:
+    return InterconnectConfig(
+        arbiter="round_robin", addr_cycles=1, fwd_latency=4, resp_latency=4
+    )
+
+
+def zcu102(
+    num_cpus: int = 1,
+    num_accels: int = 4,
+    cpu_workload: str = "latency_probe",
+    accel_workload: str = "stream_read",
+    cpu_work: Optional[int] = CRITICAL_ACCESSES,
+    accel_regulator: Optional[RegulatorSpec] = None,
+    cpu_regulator: Optional[RegulatorSpec] = None,
+    arbiter: str = "round_robin",
+    scheduler: str = "frfcfs",
+    seed: int = 1,
+) -> PlatformConfig:
+    """Build the standard experiment platform.
+
+    Args:
+        num_cpus: Host cores; the first one (``cpu0``) is marked
+            critical and bounded by ``cpu_work`` accesses.
+        num_accels: FPGA accelerator masters (``acc0..N-1``),
+            unbounded background traffic.
+        cpu_workload / accel_workload: Workload names from
+            :data:`repro.traffic.workloads.WORKLOADS`.
+        cpu_work: Work quantum of each CPU core (accesses).
+        accel_regulator: Regulation applied to *every* accelerator
+            port (``None`` = unregulated).
+        cpu_regulator: Regulation applied to CPU ports (normally
+            ``None``: the critical core is the protected actor).
+        arbiter: Interconnect arbitration policy.
+        scheduler: DRAM scheduling policy.
+        seed: Experiment seed.
+
+    Returns:
+        A :class:`~repro.soc.platform.PlatformConfig`.
+    """
+    if num_cpus < 1:
+        raise ConfigError("need at least one CPU master")
+    if num_accels < 0:
+        raise ConfigError("num_accels must be >= 0")
+    masters: List[MasterSpec] = []
+    region = REGION_FLOOR
+    for index in range(num_cpus):
+        masters.append(
+            MasterSpec(
+                name=f"cpu{index}",
+                workload=cpu_workload,
+                region_base=region,
+                region_extent=REGION_BYTES,
+                work=cpu_work,
+                max_outstanding=4,
+                regulator=cpu_regulator,
+                critical=(index == 0),
+            )
+        )
+        region += REGION_BYTES
+    for index in range(num_accels):
+        masters.append(
+            MasterSpec(
+                name=f"acc{index}",
+                workload=accel_workload,
+                region_base=region,
+                region_extent=REGION_BYTES,
+                work=None,
+                max_outstanding=8,
+                regulator=accel_regulator,
+            )
+        )
+        region += REGION_BYTES
+    interconnect = zcu102_interconnect()
+    if arbiter != interconnect.arbiter:
+        interconnect = InterconnectConfig(
+            arbiter=arbiter,
+            addr_cycles=interconnect.addr_cycles,
+            fwd_latency=interconnect.fwd_latency,
+            resp_latency=interconnect.resp_latency,
+        )
+    return PlatformConfig(
+        masters=tuple(masters),
+        clock=zcu102_clock(),
+        interconnect=interconnect,
+        dram=zcu102_dram(scheduler),
+        seed=seed,
+    )
+
+
+def kv260(
+    num_accels: int = 2,
+    cpu_workload: str = "latency_probe",
+    accel_workload: str = "stream_read",
+    cpu_work: Optional[int] = CRITICAL_ACCESSES,
+    accel_regulator: Optional[RegulatorSpec] = None,
+    seed: int = 1,
+) -> PlatformConfig:
+    """A Kria KV260-class platform: smaller SoC, narrower memory.
+
+    Differences from :func:`zcu102`: a single critical core next to a
+    lighter accelerator complement, a 64-bit (8 B/beat) DDR4 channel
+    (half the ZCU102's effective width), and slightly slower timing.
+    Used for cross-platform sanity checks: every qualitative result
+    must survive the change of board.
+    """
+    if num_accels < 0:
+        raise ConfigError("num_accels must be >= 0")
+    dram = DramConfig(
+        timing=DramTiming(
+            t_cas=16,
+            t_rcd=16,
+            t_rp=16,
+            beat_cycles=1,
+            bus_bytes_per_beat=8,
+            rw_turnaround=6,
+            t_refi=1950,
+            t_rfc=98,
+        ),
+        address_map=AddressMap(num_banks=8, row_bytes=2048),
+    )
+    masters: List[MasterSpec] = [
+        MasterSpec(
+            name="cpu0",
+            workload=cpu_workload,
+            region_base=REGION_FLOOR,
+            region_extent=REGION_BYTES,
+            work=cpu_work,
+            max_outstanding=4,
+            critical=True,
+        )
+    ]
+    region = REGION_FLOOR + REGION_BYTES
+    for index in range(num_accels):
+        masters.append(
+            MasterSpec(
+                name=f"acc{index}",
+                workload=accel_workload,
+                region_base=region,
+                region_extent=REGION_BYTES,
+                work=None,
+                max_outstanding=8,
+                regulator=accel_regulator,
+            )
+        )
+        region += REGION_BYTES
+    return PlatformConfig(
+        masters=tuple(masters),
+        clock=ClockSpec(freq_mhz=200.0),
+        interconnect=zcu102_interconnect(),
+        dram=dram,
+        seed=seed,
+    )
+
+
+def accel_names(config: PlatformConfig) -> Sequence[str]:
+    """Names of the accelerator masters in a preset-built config."""
+    return tuple(m.name for m in config.masters if m.name.startswith("acc"))
+
+
+def cpu_names(config: PlatformConfig) -> Sequence[str]:
+    """Names of the CPU masters in a preset-built config."""
+    return tuple(m.name for m in config.masters if m.name.startswith("cpu"))

@@ -1,0 +1,126 @@
+"""Shared regulator provisioning for platform builders.
+
+Several regulation schemes need *system-level* resources beyond the
+per-port regulator object: a shared reclaim pool (MemGuard), a shared
+token controller (PREM), a shared TDMA frame with per-master slot
+assignment, automatic window-phase staggering (tightly-coupled), and
+the DRAM idle probe for work-conserving injection.
+
+:class:`RegulatorProvisioner` owns that state so every platform
+flavour (:class:`~repro.soc.platform.Platform`,
+:class:`~repro.soc.hierarchy.TwoLevelPlatform`) provisions regulators
+identically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Callable, Iterable, Optional
+
+from repro.sim.kernel import Simulator
+from repro.regulation.base import BandwidthRegulator
+from repro.regulation.factory import RegulatorSpec, make_regulator
+from repro.regulation.memguard import ReclaimPool
+from repro.regulation.prem import PremController
+from repro.regulation.tdma import TdmaSchedule
+
+
+class RegulatorProvisioner:
+    """Builds regulators with their shared system resources.
+
+    Args:
+        sim: The simulation kernel.
+        specs: Every regulator spec the system will provision (used to
+            size the TDMA frame and the stagger fan-out upfront).
+        dram_idle_probe: Zero-argument callable reporting "memory
+            system idle" (wired to work-conserving regulators).
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        specs: Iterable[Optional[RegulatorSpec]],
+        dram_idle_probe: Optional[Callable[[], bool]] = None,
+    ) -> None:
+        self.sim = sim
+        self.dram_idle_probe = dram_idle_probe
+        self.reclaim_pool = ReclaimPool()
+        self.prem_controller: Optional[PremController] = None
+        self.tdma_schedule: Optional[TdmaSchedule] = None
+        self._tdma_next_slot = 0
+        self._stagger_slot = 0
+        spec_list = [s for s in specs if s is not None]
+        self._tdma_count = sum(1 for s in spec_list if s.kind == "tdma")
+        self._stagger_count = sum(
+            1
+            for s in spec_list
+            if s.kind == "tightly_coupled" and s.stagger and s.window_phase == 0
+        )
+
+    # ------------------------------------------------------------------
+    # per-scheme preparation
+    # ------------------------------------------------------------------
+    def _staggered(self, spec: RegulatorSpec) -> RegulatorSpec:
+        """Assign a distinct window phase to each tightly-coupled
+        regulator (IP enables are sequenced in hardware; aligned
+        windows would clump traffic -- see experiment E12)."""
+        if (
+            spec.kind != "tightly_coupled"
+            or not spec.stagger
+            or spec.window_phase != 0
+            or self._stagger_count <= 1
+        ):
+            return spec
+        phase = (self._stagger_slot * spec.window_cycles) // self._stagger_count
+        self._stagger_slot += 1
+        return replace(spec, window_phase=phase)
+
+    def _tdma_binding(self, spec: RegulatorSpec):
+        if self.tdma_schedule is None:
+            num_slots = spec.tdma_slots or max(1, self._tdma_count)
+            self.tdma_schedule = TdmaSchedule(
+                slot_cycles=spec.window_cycles, num_slots=num_slots
+            )
+        slot = self._tdma_next_slot
+        self._tdma_next_slot += 1
+        return (self.tdma_schedule, slot)
+
+    def _prem_controller(self, spec: RegulatorSpec) -> PremController:
+        if self.prem_controller is None:
+            self.prem_controller = PremController(
+                self.sim, max_hold_cycles=spec.prem_hold_cycles
+            )
+        return self.prem_controller
+
+    # ------------------------------------------------------------------
+    # the one entry point
+    # ------------------------------------------------------------------
+    def build(
+        self, spec: Optional[RegulatorSpec]
+    ) -> Optional[BandwidthRegulator]:
+        """Build one regulator, provisioning shared state as needed."""
+        if spec is None or spec.kind == "none":
+            return None
+        tdma_binding = None
+        prem_controller = None
+        if spec.kind == "tightly_coupled":
+            spec = self._staggered(spec)
+        elif spec.kind == "tdma":
+            tdma_binding = self._tdma_binding(spec)
+        elif spec.kind == "prem":
+            prem_controller = self._prem_controller(spec)
+        regulator = make_regulator(
+            spec,
+            self.sim,
+            reclaim_pool=self.reclaim_pool,
+            tdma_binding=tdma_binding,
+            prem_controller=prem_controller,
+        )
+        if (
+            regulator is not None
+            and self.dram_idle_probe is not None
+            and getattr(getattr(regulator, "config", None), "work_conserving",
+                        False)
+        ):
+            regulator.attach_idle_probe(self.dram_idle_probe)
+        return regulator

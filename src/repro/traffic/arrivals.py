@@ -1,0 +1,159 @@
+"""Open-loop traffic with stochastic arrivals.
+
+Closed-loop masters (cores, DMA pipelines) self-throttle when the
+memory system backs up.  Interrupt-driven and sensor traffic does
+not: requests arrive on an external clock whatever the congestion,
+and if the system cannot keep up, queues grow.  An
+:class:`OpenLoopMaster` models that with Poisson (exponential
+inter-arrival) or periodic-with-jitter processes.
+
+Sweeping the offered load of an open-loop victim against regulated
+background traffic yields the classic queueing curve (latency vs
+load) that experiment E18 reproduces.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.errors import ConfigError
+from repro.sim.kernel import Phase, Simulator
+from repro.axi.port import MasterPort
+from repro.axi.txn import Transaction
+from repro.traffic.master import Master
+from repro.traffic.patterns import AddressPattern
+
+
+@dataclass
+class OpenLoopConfig:
+    """Parameters of an open-loop arrival process.
+
+    Attributes:
+        pattern: Address stream.
+        arrival: ``"poisson"`` (exponential gaps) or ``"periodic"``
+            (fixed period plus uniform jitter).
+        mean_gap_cycles: Mean inter-arrival time.
+        jitter_cycles: Uniform +/- jitter for ``periodic`` arrivals.
+        burst_len: Beats per request.
+        bytes_per_beat: Beat width.
+        write_ratio: Fraction of writes (deterministic mixing).
+        num_requests: Stop after this many arrivals (None = endless).
+        rng: Deterministic generator (required for ``poisson`` or a
+            non-zero jitter).
+    """
+
+    pattern: AddressPattern = field(default=None)  # type: ignore[assignment]
+    arrival: str = "poisson"
+    mean_gap_cycles: float = 200.0
+    jitter_cycles: int = 0
+    burst_len: int = 4
+    bytes_per_beat: int = 16
+    write_ratio: float = 0.0
+    num_requests: Optional[int] = None
+    rng: Optional[random.Random] = None
+
+    def __post_init__(self) -> None:
+        if self.pattern is None:
+            raise ConfigError("OpenLoopConfig requires an address pattern")
+        if self.arrival not in ("poisson", "periodic"):
+            raise ConfigError(f"unknown arrival process {self.arrival!r}")
+        if self.mean_gap_cycles <= 0:
+            raise ConfigError("mean_gap_cycles must be positive")
+        if self.jitter_cycles < 0:
+            raise ConfigError("jitter_cycles must be >= 0")
+        if self.jitter_cycles >= self.mean_gap_cycles:
+            raise ConfigError("jitter must be smaller than the mean gap")
+        if not 0.0 <= self.write_ratio <= 1.0:
+            raise ConfigError("write_ratio must be in [0, 1]")
+        if self.num_requests is not None and self.num_requests < 1:
+            raise ConfigError("num_requests must be >= 1 or None")
+        needs_rng = self.arrival == "poisson" or self.jitter_cycles > 0
+        if needs_rng and self.rng is None:
+            raise ConfigError(
+                "stochastic arrivals need a seeded rng "
+                "(see repro.sim.rng.component_rng)"
+            )
+
+    def offered_load_bytes_per_cycle(self) -> float:
+        """The long-run rate the process *tries* to inject."""
+        return self.burst_len * self.bytes_per_beat / self.mean_gap_cycles
+
+
+class OpenLoopMaster(Master):
+    """Issues requests on an external arrival clock (open loop).
+
+    Arrivals are never withheld: if the port/regulator back-pressures,
+    requests pile up in the port queue and their measured latency
+    includes the queueing -- exactly what happens to interrupt-driven
+    traffic on a congested SoC.
+    """
+
+    def __init__(
+        self, sim: Simulator, port: MasterPort, config: OpenLoopConfig
+    ) -> None:
+        super().__init__(sim, port)
+        self.config = config
+        self._arrived = 0
+        self._completed = 0
+        self._write_accumulator = 0.0
+
+    # ------------------------------------------------------------------
+    # Master interface
+    # ------------------------------------------------------------------
+    def _start(self) -> None:
+        self._schedule_next_arrival()
+
+    def _on_response(self, txn: Transaction) -> None:
+        self._completed += 1
+        limit = self.config.num_requests
+        if limit is not None and self._completed >= limit:
+            self._finish()
+
+    # ------------------------------------------------------------------
+    # arrivals
+    # ------------------------------------------------------------------
+    def _next_gap(self) -> int:
+        cfg = self.config
+        if cfg.arrival == "poisson":
+            return max(1, round(cfg.rng.expovariate(1.0 / cfg.mean_gap_cycles)))
+        gap = cfg.mean_gap_cycles
+        if cfg.jitter_cycles:
+            gap += cfg.rng.uniform(-cfg.jitter_cycles, cfg.jitter_cycles)
+        return max(1, round(gap))
+
+    def _next_is_write(self) -> bool:
+        self._write_accumulator += self.config.write_ratio
+        if self._write_accumulator >= 1.0:
+            self._write_accumulator -= 1.0
+            return True
+        return False
+
+    def _schedule_next_arrival(self) -> None:
+        limit = self.config.num_requests
+        if limit is not None and self._arrived >= limit:
+            return
+        self.sim.schedule(self._next_gap(), self._arrive, priority=Phase.MASTER)
+
+    def _arrive(self) -> None:
+        self._arrived += 1
+        self.issue(
+            is_write=self._next_is_write(),
+            addr=self.config.pattern.next_addr(),
+            burst_len=self.config.burst_len,
+            bytes_per_beat=self.config.bytes_per_beat,
+        )
+        self._schedule_next_arrival()
+
+    # ------------------------------------------------------------------
+    # reporting
+    # ------------------------------------------------------------------
+    @property
+    def arrived(self) -> int:
+        return self._arrived
+
+    @property
+    def backlog(self) -> int:
+        """Arrived-but-uncompleted requests (queue growth indicator)."""
+        return self._arrived - self._completed

@@ -1,0 +1,81 @@
+"""Tests for terminal plotting helpers."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.analysis.ascii_plot import bar_chart, heat_grid, sparkline
+
+
+class TestSparkline:
+    def test_monotone_series_monotone_intensity(self):
+        line = sparkline([0, 1, 2, 3, 4, 5])
+        ramp = " .:-=+*#%@"
+        positions = [ramp.index(ch) for ch in line]
+        assert positions == sorted(positions)
+        assert line[0] == " " and line[-1] == "@"
+
+    def test_explicit_bounds(self):
+        line = sparkline([5, 5, 5], lo=0, hi=10)
+        assert len(set(line)) == 1
+
+    def test_flat_series_renders_full(self):
+        assert sparkline([3, 3, 3]) == "@@@"
+
+    def test_out_of_bounds_clamped(self):
+        line = sparkline([-10, 100], lo=0, hi=10)
+        assert line == " @"
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigError):
+            sparkline([])
+
+
+class TestBarChart:
+    def test_bars_scale_to_peak(self):
+        text = bar_chart(["a", "bb"], [5, 10], width=10)
+        lines = text.splitlines()
+        assert lines[0].count("#") == 5
+        assert lines[1].count("#") == 10
+        assert lines[0].startswith("a ")
+        assert lines[1].startswith("bb")
+
+    def test_unit_suffix(self):
+        text = bar_chart(["x"], [2.5], unit=" GB/s")
+        assert "2.5 GB/s" in text
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            bar_chart(["a"], [1, 2])
+        with pytest.raises(ConfigError):
+            bar_chart([], [])
+        with pytest.raises(ConfigError):
+            bar_chart(["a"], [1], width=0)
+
+
+class TestHeatGrid:
+    def test_shape_and_scale(self):
+        text = heat_grid(
+            [[0, 5], [5, 10]],
+            row_labels=["r0", "r1"],
+            col_labels=["c0", "c1"],
+        )
+        lines = text.splitlines()
+        assert len(lines) == 4  # header + 2 rows + scale
+        assert "c0" in lines[0] and "c1" in lines[0]
+        assert lines[1].startswith("r0")
+        assert "scale:" in lines[-1]
+        # Minimum cell renders blank, maximum renders full.
+        assert " " in lines[1]
+        assert "@" in lines[2]
+
+    def test_legend(self):
+        text = heat_grid([[1]], ["r"], ["c"], legend="p99 latency")
+        assert "p99 latency" in text
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            heat_grid([], [], [])
+        with pytest.raises(ConfigError):
+            heat_grid([[1]], ["a", "b"], ["c"])
+        with pytest.raises(ConfigError):
+            heat_grid([[1, 2]], ["a"], ["c"])

@@ -1,0 +1,117 @@
+"""Tests for the analytic worst-case interference bounds."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ConfigError
+from repro.analysis.bounds import (
+    CoRunnerEnvelope,
+    guaranteed_bandwidth,
+    max_tolerable_window,
+    per_burst_worst_cycles,
+    worst_case_read_latency,
+)
+from repro.axi.interconnect import InterconnectConfig
+from repro.dram.timing import DramTiming
+from repro.soc.experiment import run_experiment
+from repro.soc.presets import zcu102, zcu102_dram, zcu102_interconnect
+
+TIMING = DramTiming()
+IC = InterconnectConfig()
+
+
+class TestPerBurst:
+    def test_composition(self):
+        cost = per_burst_worst_cycles(TIMING, 16)
+        assert cost == TIMING.conflict_latency + 16 + TIMING.rw_turnaround
+
+
+class TestWorstCaseLatency:
+    def test_grows_with_co_runners(self):
+        bounds = [
+            worst_case_read_latency(
+                TIMING, IC,
+                [CoRunnerEnvelope(8, 16)] * n,
+            )
+            for n in range(0, 5)
+        ]
+        assert bounds == sorted(bounds)
+        assert bounds[4] > bounds[0]
+
+    def test_zero_co_runners_is_own_service(self):
+        bound = worst_case_read_latency(TIMING, IC, [], own_outstanding=1)
+        assert bound < 300  # own conflict + data + refresh + pipeline
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            worst_case_read_latency(TIMING, IC, [], critical_burst_beats=0)
+        with pytest.raises(ConfigError):
+            worst_case_read_latency(TIMING, IC, [], own_outstanding=0)
+        with pytest.raises(ConfigError):
+            CoRunnerEnvelope(0, 16)
+        with pytest.raises(ConfigError):
+            CoRunnerEnvelope(8, 300)
+
+    @pytest.mark.parametrize("hogs", [1, 4, 7])
+    def test_bound_is_sound_against_simulation(self, hogs):
+        dram = zcu102_dram()
+        bound = worst_case_read_latency(
+            timing=dram.timing,
+            interconnect=zcu102_interconnect(),
+            co_runners=[CoRunnerEnvelope(8, 16)] * hogs,
+            critical_burst_beats=4,
+            frfcfs_cap=dram.frfcfs_cap,
+            own_outstanding=2,
+        )
+        result = run_experiment(zcu102(num_accels=hogs, cpu_work=1500))
+        assert result.critical().latency_max <= bound
+
+
+class TestGuaranteedBandwidth:
+    def test_residual(self):
+        assert guaranteed_bandwidth(16.0, [1.6, 1.6]) == pytest.approx(12.8)
+
+    def test_oversubscription_rejected(self):
+        with pytest.raises(ConfigError):
+            guaranteed_bandwidth(16.0, [10.0, 10.0])
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            guaranteed_bandwidth(0, [1.0])
+        with pytest.raises(ConfigError):
+            guaranteed_bandwidth(16.0, [-1.0])
+
+
+class TestMaxTolerableWindow:
+    def test_clump_equals_budget_when_larger_than_burst(self):
+        clump, cycles = max_tolerable_window(TIMING, 1638, 256)
+        assert clump == 1638
+        assert cycles == -(-1638 // 16)
+
+    def test_oversize_floor_is_one_burst(self):
+        clump, _cycles = max_tolerable_window(TIMING, 64, 256)
+        assert clump == 256
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            max_tolerable_window(TIMING, 0, 256)
+        with pytest.raises(ConfigError):
+            max_tolerable_window(TIMING, 100, 0)
+
+
+class TestBoundProperties:
+    @given(
+        outstanding=st.integers(1, 16),
+        beats=st.sampled_from([1, 4, 16, 64]),
+        hogs=st.integers(0, 8),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_bound_positive_and_monotone_in_outstanding(
+        self, outstanding, beats, hogs
+    ):
+        envs = [CoRunnerEnvelope(outstanding, beats)] * hogs
+        bound = worst_case_read_latency(TIMING, IC, envs)
+        assert bound > 0
+        if hogs:
+            deeper = [CoRunnerEnvelope(outstanding + 1, beats)] * hogs
+            assert worst_case_read_latency(TIMING, IC, deeper) > bound

@@ -1,0 +1,66 @@
+"""Unit tests for derived QoS metrics."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.analysis.metrics import (
+    isolation_error,
+    regulation_error,
+    slowdown,
+    utilization_of,
+)
+
+
+class TestSlowdown:
+    def test_values(self):
+        assert slowdown(200, 100) == 2.0
+        assert slowdown(100, 100) == 1.0
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            slowdown(100, 0)
+        with pytest.raises(ConfigError):
+            slowdown(0, 100)
+
+
+class TestRegulationError:
+    def test_overshoot_positive(self):
+        assert regulation_error(1.2, 1.0) == pytest.approx(0.2)
+
+    def test_undershoot_negative(self):
+        assert regulation_error(0.9, 1.0) == pytest.approx(-0.1)
+
+    def test_exact(self):
+        assert regulation_error(1.0, 1.0) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            regulation_error(1.0, 0.0)
+        with pytest.raises(ConfigError):
+            regulation_error(-1.0, 1.0)
+
+
+class TestUtilization:
+    def test_value(self):
+        # 800 bytes over 100 cycles at 16 B/cycle peak = 50%.
+        assert utilization_of(800, 100, 16.0) == 0.5
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            utilization_of(1, 0, 16.0)
+        with pytest.raises(ConfigError):
+            utilization_of(1, 10, 0)
+        with pytest.raises(ConfigError):
+            utilization_of(-1, 10, 16.0)
+
+
+class TestIsolationError:
+    def test_values(self):
+        assert isolation_error(110, 100) == pytest.approx(0.10)
+        assert isolation_error(100, 100) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            isolation_error(1, 0)
+        with pytest.raises(ConfigError):
+            isolation_error(-1, 10)

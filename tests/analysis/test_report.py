@@ -1,0 +1,73 @@
+"""Tests for scenario report rendering."""
+
+import pytest
+
+from repro.analysis.report import render_report
+from repro.qos.budget import BandwidthBudget
+from repro.regulation.factory import RegulatorSpec
+from repro.soc.experiment import run_experiment, run_solo_baseline
+from repro.soc.presets import zcu102
+
+
+@pytest.fixture(scope="module")
+def regulated_result():
+    spec = RegulatorSpec(
+        kind="tightly_coupled", window_cycles=256, budget_bytes=512,
+        work_conserving=True,
+    )
+    config = zcu102(num_accels=2, cpu_work=500, accel_regulator=spec)
+    return run_experiment(config), config
+
+
+class TestRenderReport:
+    def test_contains_all_sections(self, regulated_result):
+        result, _config = regulated_result
+        text = render_report(result, title="T")
+        assert text.startswith("T\n=")
+        assert "Masters" in text
+        assert "Regulators" in text
+        assert "cpu0" in text and "acc0" in text
+        assert "TightlyCoupledRegulator" in text
+        assert "DRAM utilization" in text
+
+    def test_solo_section(self, regulated_result):
+        result, config = regulated_result
+        solo = run_solo_baseline(config, "cpu0")
+        text = render_report(result, solo=solo)
+        assert "slowdown" in text
+        assert "p99-latency inflation" in text
+
+    def test_no_regulators_section_when_unregulated(self):
+        result = run_experiment(zcu102(num_accels=0, cpu_work=200))
+        text = render_report(result)
+        assert "Regulators" not in text
+
+    def test_reconfig_log_section(self):
+        from repro.soc.platform import Platform
+        from repro.soc.experiment import PlatformResult
+
+        spec = RegulatorSpec(kind="tightly_coupled", window_cycles=256,
+                             budget_bytes=512)
+        platform = Platform(
+            zcu102(num_accels=1, cpu_work=200, accel_regulator=spec)
+        )
+        platform.sim.schedule_at(
+            1_000,
+            lambda: platform.qos_manager.set_budget(
+                "acc0", BandwidthBudget(2.0)
+            ),
+        )
+        elapsed = platform.run(1_000_000)
+        text = render_report(PlatformResult(platform, elapsed))
+        assert "Reconfiguration log" in text
+        assert "effective_at" in text
+
+    def test_injection_column_present_when_used(self, regulated_result):
+        result, _config = regulated_result
+        injected = sum(
+            getattr(r, "injected_bytes", 0)
+            for r in result.platform.regulators.values()
+        )
+        text = render_report(result)
+        if injected:
+            assert "injected_bytes" in text

@@ -1,0 +1,68 @@
+"""Unit tests for the FPGA resource model."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.analysis.resources import (
+    ZU9EG_LUTS,
+    ResourceEstimate,
+    ResourceModel,
+)
+
+
+class TestChannelBits:
+    def test_widths_follow_configuration(self):
+        model = ResourceModel()
+        bits = model.channel_bits(window_cycles=1024, capacity_bytes=4096)
+        assert bits["window_bits"] == 11   # ceil(log2(1025))
+        assert bits["credit_bits"] == 13   # ceil(log2(4097))
+        assert bits["monitor_bits"] == 32
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            ResourceModel().channel_bits(0, 100)
+
+
+class TestEstimate:
+    def test_linear_in_channels(self):
+        model = ResourceModel()
+        one = model.estimate(channels=1)
+        two = model.estimate(channels=2)
+        four = model.estimate(channels=4)
+        per_channel = two.luts - one.luts
+        assert four.luts - two.luts == pytest.approx(2 * per_channel, abs=2)
+
+    def test_base_cost_present(self):
+        model = ResourceModel()
+        one = model.estimate(channels=1)
+        assert one.luts > model.axi_lite_luts
+        assert one.ffs > model.axi_lite_ffs
+
+    def test_counter_width_has_weak_effect(self):
+        model = ResourceModel()
+        small = model.estimate(channels=4, window_cycles=64, capacity_bytes=256)
+        big = model.estimate(
+            channels=4, window_cycles=1 << 20, capacity_bytes=1 << 20
+        )
+        assert big.luts > small.luts
+        # Doubling widths costs far less than doubling channels.
+        assert big.luts < small.luts * 1.5
+
+    def test_no_bram_needed(self):
+        assert ResourceModel().estimate(channels=8).bram36 == 0
+
+    def test_fraction_of_device_is_small(self):
+        est = ResourceModel().estimate(channels=8)
+        assert est.lut_fraction() < 0.02  # well under 2% of a ZU9EG
+        assert est.ff_fraction() < 0.02
+
+    def test_channels_validated(self):
+        with pytest.raises(ConfigError):
+            ResourceModel().estimate(channels=0)
+
+
+class TestResourceEstimate:
+    def test_fraction_helpers(self):
+        est = ResourceEstimate(channels=1, luts=ZU9EG_LUTS // 10,
+                               ffs=100, bram36=0)
+        assert est.lut_fraction() == pytest.approx(0.1)

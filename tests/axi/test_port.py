@@ -1,0 +1,153 @@
+"""Unit tests for MasterPort behaviour (wired into a mini system)."""
+
+import pytest
+
+from repro.errors import ConfigError, ProtocolError
+from repro.axi.port import MasterPort, PortConfig
+from repro.axi.txn import Transaction
+from repro.regulation.base import BandwidthRegulator
+
+
+def submit(port, sim, n=1, burst_len=4):
+    txns = []
+    for _ in range(n):
+        txn = Transaction(
+            master=port.name,
+            is_write=False,
+            addr=0x1000,
+            burst_len=burst_len,
+            created=sim.now,
+        )
+        port.submit(txn)
+        txns.append(txn)
+    return txns
+
+
+class TestPortConfig:
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            PortConfig(name="p", max_outstanding=0)
+        with pytest.raises(ConfigError):
+            PortConfig(name="p", qos=16)
+
+
+class TestLifecycle:
+    def test_transaction_completes_with_ordered_timestamps(self, sim, mini):
+        port = mini.add_port("m0")
+        (txn,) = submit(port, sim)
+        sim.run()
+        assert txn.completed > txn.mem_start > txn.accepted >= txn.issued
+        assert port.stats.counter("completed").value == 1
+        assert port.stats.counter("bytes").value == 64
+        assert port.idle
+
+    def test_response_callback_invoked(self, sim, mini):
+        port = mini.add_port("m0")
+        seen = []
+        port.on_response = seen.append
+        (txn,) = submit(port, sim)
+        sim.run()
+        assert seen == [txn]
+
+    def test_submit_without_interconnect_rejected(self, sim):
+        port = MasterPort(sim, PortConfig(name="orphan"))
+        with pytest.raises(ProtocolError):
+            submit(port, sim)
+
+
+class TestOutstandingLimit:
+    def test_outstanding_never_exceeds_limit(self, sim, mini):
+        port = mini.add_port("m0", max_outstanding=2)
+        observed = []
+        original_accept = port.accept_head
+
+        def spy(want_write=None):
+            txn = original_accept(want_write=want_write)
+            observed.append(port.outstanding)
+            return txn
+
+        port.accept_head = spy
+        submit(port, sim, n=10)
+        sim.run()
+        assert max(observed) <= 2
+        assert port.stats.counter("completed").value == 10
+
+    def test_head_blocked_at_limit(self, sim, mini):
+        port = mini.add_port("m0", max_outstanding=1)
+        submit(port, sim, n=2)
+        # Before any simulation, force the first acceptance manually.
+        assert port.head() is not None
+        port.accept_head()
+        assert port.outstanding == 1
+        assert port.head() is None  # limit reached
+
+
+class _DenyingRegulator(BandwidthRegulator):
+    """Denies the first ``deny_count`` admission checks."""
+
+    def __init__(self, deny_count, release_at):
+        super().__init__()
+        self.deny_count = deny_count
+        self.release_at = release_at
+        self.checks = 0
+
+    def may_issue(self, txn, now):
+        self.checks += 1
+        if self.deny_count > 0:
+            self.deny_count -= 1
+            return False
+        return True
+
+    def next_opportunity(self, txn, now):
+        return self.release_at
+
+
+class TestRegulatorInteraction:
+    def test_denied_txn_retries_at_next_opportunity(self, sim, mini):
+        reg = _DenyingRegulator(deny_count=1, release_at=100)
+        port = mini.add_port("m0", regulator=reg)
+        (txn,) = submit(port, sim)
+        sim.run()
+        assert txn.accepted >= 100
+        assert port.stats.counter("regulator_denials").value == 1
+
+    def test_charge_called_on_accept(self, sim, mini):
+        reg = _DenyingRegulator(deny_count=0, release_at=0)
+        port = mini.add_port("m0", regulator=reg)
+        submit(port, sim, n=3)
+        sim.run()
+        assert reg.charged_transactions == 3
+        assert reg.charged_bytes == 3 * 64
+
+    def test_double_bind_rejected(self, sim, mini):
+        reg = _DenyingRegulator(0, 0)
+        mini.add_port("m0", regulator=reg)
+        from repro.errors import RegulationError
+
+        with pytest.raises(RegulationError):
+            reg.bind_port(mini.ports["m0"])
+
+
+class TestQosStamping:
+    def test_port_qos_stamped_on_default_txns(self, sim, mini):
+        port = mini.add_port("m0", qos=7)
+        (txn,) = submit(port, sim)
+        assert txn.qos == 7
+
+    def test_explicit_qos_preserved(self, sim, mini):
+        port = mini.add_port("m0", qos=7)
+        txn = Transaction(
+            master="m0", is_write=False, addr=0, burst_len=1, qos=3
+        )
+        port.submit(txn)
+        assert txn.qos == 3
+
+
+class TestBeatObservers:
+    def test_observer_sees_completion_bytes(self, sim, mini):
+        port = mini.add_port("m0")
+        seen = []
+        port.beat_observers.append(lambda nbytes, now: seen.append((nbytes, now)))
+        (txn,) = submit(port, sim, burst_len=8)
+        sim.run()
+        assert seen == [(128, txn.completed)]

@@ -1,0 +1,45 @@
+"""Unit tests for the static QoS map helper."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.axi.port import PortConfig
+from repro.axi.qos import QosMap
+
+
+class TestQosMap:
+    def test_set_and_get(self):
+        qmap = QosMap()
+        qmap.set("dma0", 12)
+        assert qmap.get("dma0") == 12
+
+    def test_unlisted_master_defaults_to_zero(self):
+        assert QosMap().get("anything") == 0
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ConfigError):
+            QosMap({"x": 16})
+        qmap = QosMap()
+        with pytest.raises(ConfigError):
+            qmap.set("x", -1)
+
+    def test_apply_stamps_matching_ports(self):
+        qmap = QosMap({"a": 9})
+        configs = [PortConfig(name="a"), PortConfig(name="b", qos=2)]
+        out = qmap.apply(configs)
+        assert out[0].qos == 9
+        assert out[1].qos == 2  # untouched
+        # Originals are not mutated (PortConfig is frozen anyway).
+        assert configs[0].qos == 0
+
+    def test_apply_preserves_other_fields(self):
+        qmap = QosMap({"a": 5})
+        cfg = PortConfig(name="a", max_outstanding=3)
+        out = qmap.apply([cfg])[0]
+        assert out.max_outstanding == 3
+
+    def test_critical_first_helper(self):
+        qmap = QosMap.critical_first(["cpu0"], ["acc0", "acc1"])
+        assert qmap.get("cpu0") == 15
+        assert qmap.get("acc0") == 0
+        assert qmap.get("acc1") == 0

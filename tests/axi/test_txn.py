@@ -1,0 +1,103 @@
+"""Unit tests for AXI transactions."""
+
+import pytest
+
+from repro.errors import ProtocolError
+from repro.axi.txn import Transaction
+
+
+def make_txn(**kwargs):
+    defaults = dict(
+        master="m0", is_write=False, addr=0x1000, burst_len=4, bytes_per_beat=16
+    )
+    defaults.update(kwargs)
+    return Transaction(**defaults)
+
+
+class TestConstruction:
+    def test_derived_sizes(self):
+        txn = make_txn(burst_len=4, bytes_per_beat=16)
+        assert txn.nbytes == 64
+        assert txn.end_addr == 0x1040
+
+    def test_ids_monotonic(self):
+        a, b = make_txn(), make_txn()
+        assert b.txn_id == a.txn_id + 1
+
+    def test_reset_ids(self):
+        make_txn()
+        Transaction.reset_ids()
+        assert make_txn().txn_id == 0
+
+    @pytest.mark.parametrize("burst_len", [0, 257, -1])
+    def test_bad_burst_len(self, burst_len):
+        with pytest.raises(ProtocolError):
+            make_txn(burst_len=burst_len)
+
+    @pytest.mark.parametrize("bpb", [0, 3, 24])
+    def test_bad_beat_width(self, bpb):
+        with pytest.raises(ProtocolError):
+            make_txn(bytes_per_beat=bpb)
+
+    @pytest.mark.parametrize("qos", [-1, 16])
+    def test_bad_qos(self, qos):
+        with pytest.raises(ProtocolError):
+            make_txn(qos=qos)
+
+    def test_negative_addr(self):
+        with pytest.raises(ProtocolError):
+            make_txn(addr=-4)
+
+
+class TestLifecycle:
+    def test_full_lifecycle_latencies(self):
+        txn = make_txn()
+        txn.mark_issued(1)
+        txn.mark_accepted(5)
+        txn.mark_mem_start(9)
+        txn.mark_completed(30)
+        assert txn.latency == 30
+        assert txn.service_latency == 25
+
+    def test_latency_before_completion_raises(self):
+        txn = make_txn()
+        with pytest.raises(ProtocolError):
+            _ = txn.latency
+
+    def test_service_latency_none_until_done(self):
+        txn = make_txn()
+        txn.mark_issued(0)
+        assert txn.service_latency is None
+
+    def test_double_issue_rejected(self):
+        txn = make_txn()
+        txn.mark_issued(1)
+        with pytest.raises(ProtocolError):
+            txn.mark_issued(2)
+
+    def test_accept_before_issue_rejected(self):
+        txn = make_txn()
+        with pytest.raises(ProtocolError):
+            txn.mark_accepted(1)
+
+    def test_mem_start_before_accept_rejected(self):
+        txn = make_txn()
+        txn.mark_issued(0)
+        with pytest.raises(ProtocolError):
+            txn.mark_mem_start(1)
+
+    def test_complete_before_mem_rejected(self):
+        txn = make_txn()
+        txn.mark_issued(0)
+        txn.mark_accepted(1)
+        with pytest.raises(ProtocolError):
+            txn.mark_completed(2)
+
+    def test_double_complete_rejected(self):
+        txn = make_txn()
+        txn.mark_issued(0)
+        txn.mark_accepted(1)
+        txn.mark_mem_start(2)
+        txn.mark_completed(3)
+        with pytest.raises(ProtocolError):
+            txn.mark_completed(4)

@@ -1,0 +1,71 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.axi.interconnect import Interconnect, InterconnectConfig
+from repro.axi.port import MasterPort, PortConfig
+from repro.axi.txn import Transaction
+from repro.dram.controller import DramConfig, DramController
+from repro.dram.timing import DramTiming
+from repro.sim.kernel import Simulator
+
+
+@pytest.fixture(autouse=True)
+def _reset_txn_ids():
+    """Keep transaction ids deterministic per test."""
+    Transaction.reset_ids()
+    yield
+    Transaction.reset_ids()
+
+
+@pytest.fixture
+def sim() -> Simulator:
+    return Simulator()
+
+
+class MiniSystem:
+    """A minimal hand-wired memory system for unit tests.
+
+    One interconnect + DRAM controller; ports are added on demand.
+    Keeps unit tests independent of the platform layer.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        dram_config: DramConfig = None,
+        interconnect_config: InterconnectConfig = None,
+    ) -> None:
+        self.sim = sim
+        self.dram = DramController(sim, dram_config or DramConfig())
+        self.interconnect = Interconnect(
+            sim, interconnect_config or InterconnectConfig()
+        )
+        self.interconnect.attach_memory(self.dram)
+        self.ports = {}
+
+    def add_port(self, name: str, max_outstanding: int = 8, regulator=None,
+                 qos: int = 0) -> MasterPort:
+        port = MasterPort(
+            self.sim,
+            PortConfig(name=name, max_outstanding=max_outstanding, qos=qos),
+            regulator=regulator,
+        )
+        self.interconnect.attach_port(port)
+        self.ports[name] = port
+        return port
+
+
+@pytest.fixture
+def mini(sim) -> MiniSystem:
+    return MiniSystem(sim)
+
+
+@pytest.fixture
+def mini_norefresh(sim) -> MiniSystem:
+    """Mini system with refresh disabled (deterministic timing math)."""
+    return MiniSystem(
+        sim, dram_config=DramConfig(timing=DramTiming(), refresh_enabled=False)
+    )

@@ -1,0 +1,97 @@
+"""Unit tests for DRAM address decoding."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import ConfigError
+from repro.dram.address_map import AddressMap
+
+
+class TestRowBankCol:
+    def test_sequential_addresses_stay_in_row(self):
+        amap = AddressMap(num_banks=8, row_bytes=2048)
+        bank0, row0 = amap.decode(0)
+        bank1, row1 = amap.decode(2047)
+        assert (bank0, row0) == (bank1, row1)
+
+    def test_next_row_changes_bank(self):
+        amap = AddressMap(num_banks=8, row_bytes=2048)
+        bank0, _ = amap.decode(0)
+        bank1, _ = amap.decode(2048)
+        assert bank1 == (bank0 + 1) % 8
+
+    def test_rows_wrap_banks(self):
+        amap = AddressMap(num_banks=4, row_bytes=1024)
+        # 4 rows later we are back on bank 0, one row up.
+        bank, row = amap.decode(4 * 1024)
+        assert (bank, row) == (0, 1)
+
+    def test_same_row_helper(self):
+        amap = AddressMap()
+        assert amap.same_row(0, 100)
+        assert not amap.same_row(0, 4096)
+
+
+class TestBankInterleaved:
+    def test_stripe_rotates_banks(self):
+        amap = AddressMap(
+            num_banks=4, row_bytes=2048,
+            interleave="bank_interleaved", interleave_bytes=256,
+        )
+        banks = [amap.decode(i * 256)[0] for i in range(8)]
+        assert banks == [0, 1, 2, 3, 0, 1, 2, 3]
+
+    def test_row_advances_after_banks_cycle(self):
+        amap = AddressMap(
+            num_banks=4, row_bytes=1024,
+            interleave="bank_interleaved", interleave_bytes=256,
+        )
+        # Per-bank offset grows by 256 per full bank sweep; row flips
+        # after 4 sweeps (1024 / 256).
+        _, row_first = amap.decode(0)
+        _, row_later = amap.decode(4 * 4 * 256)
+        assert row_first == 0
+        assert row_later == 1
+
+
+class TestValidation:
+    def test_power_of_two_required(self):
+        with pytest.raises(ConfigError):
+            AddressMap(num_banks=6)
+        with pytest.raises(ConfigError):
+            AddressMap(row_bytes=3000)
+        with pytest.raises(ConfigError):
+            AddressMap(interleave="bank_interleaved", interleave_bytes=100)
+
+    def test_unknown_interleave(self):
+        with pytest.raises(ConfigError):
+            AddressMap(interleave="xor")
+
+    def test_negative_address(self):
+        with pytest.raises(ConfigError):
+            AddressMap().decode(-1)
+
+
+class TestProperties:
+    @given(st.integers(0, 2**32 - 1))
+    def test_decode_in_range(self, addr):
+        amap = AddressMap(num_banks=8, row_bytes=2048)
+        bank, row = amap.decode(addr)
+        assert 0 <= bank < 8
+        assert row >= 0
+
+    @given(st.integers(0, 2**28), st.integers(0, 2047))
+    def test_offsets_within_row_decode_identically(self, base, offset):
+        amap = AddressMap(num_banks=8, row_bytes=2048)
+        row_start = (base // 2048) * 2048
+        assert amap.decode(row_start) == amap.decode(row_start + offset)
+
+    @given(st.integers(0, 2**28))
+    def test_bank_interleaved_in_range(self, addr):
+        amap = AddressMap(
+            num_banks=8, row_bytes=2048,
+            interleave="bank_interleaved", interleave_bytes=256,
+        )
+        bank, row = amap.decode(addr)
+        assert 0 <= bank < 8
+        assert row >= 0

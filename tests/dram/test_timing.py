@@ -1,0 +1,50 @@
+"""Unit tests for DRAM timing parameters."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.dram.timing import DramTiming
+
+
+class TestDerivedLatencies:
+    def test_service_class_ordering(self):
+        t = DramTiming()
+        assert t.hit_latency < t.miss_latency < t.conflict_latency
+
+    def test_exact_composition(self):
+        t = DramTiming(t_cas=10, t_rcd=12, t_rp=14)
+        assert t.hit_latency == 10
+        assert t.miss_latency == 22
+        assert t.conflict_latency == 36
+
+    def test_data_cycles(self):
+        t = DramTiming(beat_cycles=2)
+        assert t.data_cycles(4) == 8
+        with pytest.raises(ConfigError):
+            t.data_cycles(0)
+
+    def test_peak_bytes_per_cycle(self):
+        t = DramTiming(bus_bytes_per_beat=16, beat_cycles=1)
+        assert t.peak_bytes_per_cycle == 16.0
+        t2 = DramTiming(bus_bytes_per_beat=16, beat_cycles=2)
+        assert t2.peak_bytes_per_cycle == 8.0
+
+
+class TestValidation:
+    def test_core_timings_positive(self):
+        with pytest.raises(ConfigError):
+            DramTiming(t_cas=0)
+        with pytest.raises(ConfigError):
+            DramTiming(t_rcd=0)
+        with pytest.raises(ConfigError):
+            DramTiming(t_rp=0)
+
+    def test_refresh_consistency(self):
+        with pytest.raises(ConfigError):
+            DramTiming(t_refi=100, t_rfc=100)
+        # Disabled refresh (t_refi=0) is allowed with any t_rfc.
+        DramTiming(t_refi=0, t_rfc=88)
+
+    def test_negative_turnaround_rejected(self):
+        with pytest.raises(ConfigError):
+            DramTiming(rw_turnaround=-1)

@@ -1,0 +1,109 @@
+"""Property tests on arbitration fairness and service conservation."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.axi.interconnect import InterconnectConfig
+from repro.axi.txn import Transaction
+from repro.sim.kernel import Simulator
+from repro.dram.controller import DramConfig
+from repro.dram.timing import DramTiming
+from tests.conftest import MiniSystem
+
+
+def build(num_ports, arbiter="round_robin", split=False):
+    sim = Simulator()
+    mini = MiniSystem(
+        sim,
+        dram_config=DramConfig(timing=DramTiming(), refresh_enabled=False),
+        interconnect_config=InterconnectConfig(
+            arbiter=arbiter, split_addr_channels=split
+        ),
+    )
+    ports = [mini.add_port(f"m{i}") for i in range(num_ports)]
+    return sim, mini, ports
+
+
+class TestArbitrationProperties:
+    @given(
+        num_ports=st.integers(2, 6),
+        txns_per_port=st.integers(5, 25),
+        burst=st.sampled_from([1, 4, 16]),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_round_robin_equal_backlogs_equal_service(
+        self, num_ports, txns_per_port, burst
+    ):
+        sim, mini, ports = build(num_ports)
+        for index, port in enumerate(ports):
+            for i in range(txns_per_port):
+                port.submit(
+                    Transaction(
+                        master=port.name,
+                        is_write=False,
+                        addr=(index << 22) + i * 256,
+                        burst_len=burst,
+                    )
+                )
+        sim.run()
+        counts = [p.stats.counter("completed").value for p in ports]
+        # Everything completes; equal offered work -> equal service.
+        assert counts == [txns_per_port] * num_ports
+        # Conservation at the controller.
+        assert (
+            mini.dram.stats.counter("serviced").value
+            == num_ports * txns_per_port
+        )
+
+    @given(
+        num_ports=st.integers(2, 5),
+        txns=st.integers(4, 20),
+        split=st.booleans(),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_mixed_direction_conservation(self, num_ports, txns, split):
+        sim, mini, ports = build(num_ports, split=split)
+        submitted_bytes = 0
+        for index, port in enumerate(ports):
+            for i in range(txns):
+                txn = Transaction(
+                    master=port.name,
+                    is_write=(i % 2 == 1),
+                    addr=(index << 22) + i * 256,
+                    burst_len=4,
+                )
+                port.submit(txn)
+                submitted_bytes += txn.nbytes
+        sim.run()
+        completed_bytes = sum(
+            p.stats.counter("bytes").value for p in ports
+        )
+        assert completed_bytes == submitted_bytes
+        assert mini.dram.stats.counter("bytes").value == submitted_bytes
+
+    @given(seed=st.integers(0, 50))
+    @settings(max_examples=10, deadline=None)
+    def test_latency_timestamps_consistent(self, seed):
+        sim, mini, ports = build(3)
+        import random
+
+        rng = random.Random(seed)
+        txns = []
+        for port in ports:
+            for _ in range(10):
+                txn = Transaction(
+                    master=port.name,
+                    is_write=rng.random() < 0.5,
+                    addr=rng.randrange(0, 1 << 20, 64),
+                    burst_len=rng.choice([1, 4, 16]),
+                )
+                port.submit(txn)
+                txns.append(txn)
+        sim.run()
+        for txn in txns:
+            assert (
+                txn.created
+                <= txn.issued
+                <= txn.accepted
+                <= txn.mem_start
+                <= txn.completed
+            )

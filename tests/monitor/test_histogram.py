@@ -1,0 +1,100 @@
+"""Unit tests for the log-bucketed latency histogram."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import ConfigError
+from repro.monitor.histogram import LatencyHistogram
+
+
+class TestBucketing:
+    def test_bucket_floors(self):
+        h = LatencyHistogram()
+        for v in (0, 1, 2, 3, 4, 7, 8):
+            h.record(v)
+        floors = dict(h.buckets())
+        assert floors[0] == 2   # 0 and 1
+        assert floors[2] == 2   # 2, 3
+        assert floors[4] == 2   # 4, 7
+        assert floors[8] == 1   # 8
+
+    def test_overflow_folds_into_last_bucket(self):
+        h = LatencyHistogram(max_exponent=4)
+        h.record(10_000)
+        floors = dict(h.buckets())
+        assert floors[16] == 1
+
+    def test_mean_and_count(self):
+        h = LatencyHistogram()
+        for v in (10, 20, 30):
+            h.record(v)
+        assert h.count == 3
+        assert h.mean == 20.0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ConfigError):
+            LatencyHistogram().record(-1)
+
+    def test_bad_shape_rejected(self):
+        with pytest.raises(ConfigError):
+            LatencyHistogram(max_exponent=0)
+
+
+class TestCdf:
+    def test_cdf_reaches_one(self):
+        h = LatencyHistogram()
+        for v in (1, 5, 100):
+            h.record(v)
+        cdf = h.cdf()
+        assert cdf[-1][1] == pytest.approx(1.0)
+        fractions = [f for _b, f in cdf]
+        assert fractions == sorted(fractions)
+
+    def test_empty_cdf(self):
+        assert LatencyHistogram().cdf() == []
+
+    def test_percentile_bound_is_conservative(self):
+        h = LatencyHistogram()
+        for v in range(1, 101):
+            h.record(v)
+        bound = h.percentile_bound(95)
+        assert bound >= 95
+
+    def test_percentile_bound_validation(self):
+        h = LatencyHistogram()
+        with pytest.raises(ConfigError):
+            h.percentile_bound(0)
+        assert h.percentile_bound(50) == 0  # empty histogram
+
+
+class TestMerge:
+    def test_merge_combines_populations(self):
+        a, b = LatencyHistogram(), LatencyHistogram()
+        a.record(4)
+        b.record(4)
+        b.record(100)
+        merged = a.merge(b)
+        assert merged.count == 3
+        assert dict(merged.buckets())[4] == 2
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ConfigError):
+            LatencyHistogram(max_exponent=8).merge(LatencyHistogram(max_exponent=9))
+
+    @given(st.lists(st.integers(0, 1 << 18), min_size=1, max_size=100))
+    def test_merge_equals_union(self, values):
+        half = len(values) // 2
+        a, b, union = (
+            LatencyHistogram(),
+            LatencyHistogram(),
+            LatencyHistogram(),
+        )
+        for v in values[:half]:
+            a.record(v)
+        for v in values[half:]:
+            b.record(v)
+        for v in values:
+            union.record(v)
+        merged = a.merge(b)
+        assert merged.buckets() == union.buckets()
+        assert merged.mean == pytest.approx(union.mean)

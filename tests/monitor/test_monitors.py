@@ -1,0 +1,112 @@
+"""Unit tests for bandwidth counters and windowed monitors."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.monitor.counters import BeatCounter
+from repro.monitor.window import WindowedBandwidthMonitor
+
+
+class _FakePort:
+    """Just enough port surface for monitor attachment."""
+
+    def __init__(self, name="m0"):
+        self.name = name
+        self.beat_observers = []
+
+    def emit(self, nbytes, now):
+        for fn in self.beat_observers:
+            fn(nbytes, now)
+
+
+class TestBeatCounter:
+    def test_accumulates(self):
+        port = _FakePort()
+        counter = BeatCounter(port)
+        port.emit(64, 10)
+        port.emit(128, 20)
+        assert counter.total_bytes == 192
+        assert counter.total_transactions == 2
+
+    def test_read_and_clear_delta(self):
+        port = _FakePort()
+        counter = BeatCounter(port)
+        port.emit(64, 10)
+        assert counter.read_and_clear_delta() == 64
+        assert counter.read_and_clear_delta() == 0
+        port.emit(32, 20)
+        assert counter.read_and_clear_delta() == 32
+
+    def test_bandwidth(self):
+        port = _FakePort()
+        counter = BeatCounter(port)
+        port.emit(1600, 10)
+        assert counter.bandwidth_bytes_per_cycle(100) == 16.0
+        assert counter.bandwidth_bytes_per_cycle(0) == 0.0
+
+
+class TestWindowedMonitor:
+    def test_window_byte_counts(self):
+        port = _FakePort()
+        mon = WindowedBandwidthMonitor(port, window_cycles=100)
+        port.emit(10, 5)
+        port.emit(10, 99)
+        port.emit(7, 100)
+        assert mon.window_bytes(300) == [20, 7, 0]
+
+    def test_totals_and_peak(self):
+        port = _FakePort()
+        mon = WindowedBandwidthMonitor(port, window_cycles=100)
+        port.emit(30, 0)
+        port.emit(50, 150)
+        assert mon.total_bytes() == 80
+        assert mon.peak_window_bytes() == 50
+        assert mon.mean_bandwidth_bytes_per_cycle(200) == pytest.approx(0.4)
+
+    def test_validation(self):
+        port = _FakePort()
+        with pytest.raises(ConfigError):
+            WindowedBandwidthMonitor(port, window_cycles=0)
+        mon = WindowedBandwidthMonitor(port, window_cycles=100)
+        with pytest.raises(ConfigError):
+            mon.window_bytes(50)
+        with pytest.raises(ConfigError):
+            mon.mean_bandwidth_bytes_per_cycle(0)
+
+
+class TestOvershootReport:
+    def _monitored(self, pairs, window=100):
+        port = _FakePort()
+        mon = WindowedBandwidthMonitor(port, window_cycles=window)
+        for nbytes, t in pairs:
+            port.emit(nbytes, t)
+        return mon
+
+    def test_no_violation(self):
+        mon = self._monitored([(50, 0), (50, 100), (50, 200)])
+        report = mon.overshoot_report(budget_bytes_per_window=100,
+                                      horizon_cycles=300)
+        assert report["max_overshoot_ratio"] == 0.5
+        assert report["violation_fraction"] == 0.0
+
+    def test_single_violation(self):
+        mon = self._monitored([(150, 0), (50, 100)])
+        report = mon.overshoot_report(100, 200)
+        assert report["max_overshoot_ratio"] == 1.5
+        assert report["violation_fraction"] == 0.5
+
+    def test_mean_ratio(self):
+        mon = self._monitored([(100, 0), (200, 100)])
+        report = mon.overshoot_report(100, 200)
+        assert report["mean_ratio"] == pytest.approx(1.5)
+
+    def test_budget_validation(self):
+        mon = self._monitored([(10, 0)])
+        with pytest.raises(ConfigError):
+            mon.overshoot_report(0, 100)
+
+    def test_empty_monitor(self):
+        port = _FakePort()
+        mon = WindowedBandwidthMonitor(port, window_cycles=100)
+        report = mon.overshoot_report(100, 100)
+        assert report["max_overshoot_ratio"] == 0.0

@@ -1,0 +1,111 @@
+"""Tests for QoS admission control."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.analysis.bounds import CoRunnerEnvelope
+from repro.axi.interconnect import InterconnectConfig
+from repro.dram.timing import DramTiming
+from repro.qos.admission import AdmissionController
+from repro.qos.budget import BandwidthBudget
+
+ENV = CoRunnerEnvelope(max_outstanding=8, burst_beats=16)
+
+
+def capacity_controller():
+    return AdmissionController(
+        achievable_peak=13.0, protected_headroom=5.0
+    )
+
+
+def latency_controller(target):
+    return AdmissionController(
+        achievable_peak=13.0,
+        protected_headroom=2.0,
+        latency_target=target,
+        timing=DramTiming(),
+        interconnect=InterconnectConfig(),
+    )
+
+
+class TestConstruction:
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            AdmissionController(achievable_peak=0, protected_headroom=0)
+        with pytest.raises(ConfigError):
+            AdmissionController(achievable_peak=10, protected_headroom=10)
+        with pytest.raises(ConfigError):
+            AdmissionController(
+                achievable_peak=10, protected_headroom=1, latency_target=100
+            )  # missing timing/interconnect
+
+
+class TestCapacityGate:
+    def test_admit_within_capacity(self):
+        ctrl = capacity_controller()
+        decision = ctrl.admit("camera", BandwidthBudget(3.0), ENV)
+        assert decision.admitted
+        assert ctrl.reserved_rate == 3.0
+        assert ctrl.available_rate == pytest.approx(5.0)
+
+    def test_reject_when_headroom_violated(self):
+        ctrl = capacity_controller()
+        ctrl.admit("camera", BandwidthBudget(6.0), ENV)
+        decision = ctrl.check("cnn", BandwidthBudget(3.0), ENV)
+        assert not decision.admitted
+        assert "capacity" in decision.reason
+        assert decision.projected_total_rate == pytest.approx(9.0)
+
+    def test_duplicate_rejected(self):
+        ctrl = capacity_controller()
+        ctrl.admit("camera", BandwidthBudget(1.0), ENV)
+        decision = ctrl.admit("camera", BandwidthBudget(1.0), ENV)
+        assert not decision.admitted
+        assert "already" in decision.reason
+
+    def test_release_frees_capacity(self):
+        ctrl = capacity_controller()
+        ctrl.admit("camera", BandwidthBudget(6.0), ENV)
+        ctrl.release("camera")
+        assert ctrl.reserved_rate == 0.0
+        assert ctrl.admit("cnn", BandwidthBudget(6.0), ENV).admitted
+
+    def test_release_unknown_rejected(self):
+        with pytest.raises(ConfigError):
+            capacity_controller().release("ghost")
+
+    def test_check_does_not_commit(self):
+        ctrl = capacity_controller()
+        assert ctrl.check("camera", BandwidthBudget(1.0), ENV).admitted
+        assert ctrl.reservations() == {}
+
+
+class TestLatencyGate:
+    def test_reject_when_bound_exceeds_target(self):
+        # A single deep-queued co-runner already costs > 600 cycles.
+        ctrl = latency_controller(target=300)
+        decision = ctrl.admit("hog", BandwidthBudget(1.0), ENV)
+        assert not decision.admitted
+        assert "latency" in decision.reason
+        assert decision.projected_latency_bound > 300
+
+    def test_admit_with_loose_target(self):
+        ctrl = latency_controller(target=100_000)
+        decision = ctrl.admit("hog", BandwidthBudget(1.0), ENV)
+        assert decision.admitted
+        assert decision.projected_latency_bound is not None
+
+    def test_bound_grows_with_each_admission(self):
+        ctrl = latency_controller(target=100_000)
+        first = ctrl.admit("a", BandwidthBudget(1.0), ENV)
+        second = ctrl.admit("b", BandwidthBudget(1.0), ENV)
+        assert (
+            second.projected_latency_bound > first.projected_latency_bound
+        )
+
+    def test_shallow_envelope_admits_where_deep_fails(self):
+        deep = latency_controller(target=800)
+        assert not deep.admit("hog", BandwidthBudget(1.0), ENV).admitted
+        shallow = latency_controller(target=800)
+        light_env = CoRunnerEnvelope(max_outstanding=2, burst_beats=4)
+        assert shallow.admit("sensor", BandwidthBudget(1.0), light_env).admitted

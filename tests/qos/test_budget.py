@@ -1,0 +1,62 @@
+"""Unit tests for bandwidth budget arithmetic."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.qos.budget import BandwidthBudget
+from repro.sim.config import ClockSpec
+
+CLOCK = ClockSpec(freq_mhz=250.0)
+
+
+class TestConstructors:
+    def test_from_gbps(self):
+        budget = BandwidthBudget.from_gbps(4.0, CLOCK)
+        assert budget.bytes_per_cycle == pytest.approx(16.0)
+
+    def test_from_fraction(self):
+        budget = BandwidthBudget.from_fraction_of_peak(0.25, 16.0)
+        assert budget.bytes_per_cycle == 4.0
+
+    def test_from_window(self):
+        budget = BandwidthBudget.from_window(1600, 1000)
+        assert budget.bytes_per_cycle == 1.6
+
+    @pytest.mark.parametrize("fraction", [0, -0.1, 1.1])
+    def test_bad_fraction(self, fraction):
+        with pytest.raises(ConfigError):
+            BandwidthBudget.from_fraction_of_peak(fraction, 16.0)
+
+    def test_zero_budget_rejected(self):
+        with pytest.raises(ConfigError):
+            BandwidthBudget(0)
+
+
+class TestConversions:
+    def test_gbps_roundtrip(self):
+        budget = BandwidthBudget.from_gbps(1.5, CLOCK)
+        assert budget.to_gbps(CLOCK) == pytest.approx(1.5)
+
+    def test_window_bytes(self):
+        budget = BandwidthBudget(1.6)
+        assert budget.to_window_bytes(1000) == 1600
+        assert budget.to_window_bytes(1024) == 1638
+
+    def test_window_bytes_never_zero(self):
+        budget = BandwidthBudget(0.001)
+        assert budget.to_window_bytes(10) == 1
+
+    def test_fraction_of(self):
+        assert BandwidthBudget(4.0).fraction_of(16.0) == 0.25
+
+
+class TestArithmetic:
+    def test_scaled(self):
+        assert BandwidthBudget(2.0).scaled(1.5).bytes_per_cycle == 3.0
+        with pytest.raises(ConfigError):
+            BandwidthBudget(2.0).scaled(0)
+
+    def test_split(self):
+        assert BandwidthBudget(8.0).split(4).bytes_per_cycle == 2.0
+        with pytest.raises(ConfigError):
+            BandwidthBudget(8.0).split(0)

@@ -1,0 +1,114 @@
+"""Unit tests for the run-time QoS manager."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.qos.budget import BandwidthBudget
+from repro.qos.manager import QosManager
+from repro.qos.policy import QosPolicy
+from repro.regulation.memguard import MemGuardConfig, MemGuardRegulator
+from repro.regulation.noreg import NoRegulation
+from repro.regulation.tightly_coupled import (
+    TightlyCoupledConfig,
+    TightlyCoupledRegulator,
+)
+
+
+def tc_regulator(sim, window=1000, budget=1000, latency=4):
+    return TightlyCoupledRegulator(
+        sim,
+        TightlyCoupledConfig(
+            window_cycles=window, budget_bytes=budget, reconfig_latency=latency
+        ),
+    )
+
+
+class TestRegistration:
+    def test_register_and_lookup(self, sim):
+        mgr = QosManager(sim, peak_bytes_per_cycle=16.0)
+        reg = tc_regulator(sim)
+        mgr.register("acc0", reg)
+        assert mgr.regulator("acc0") is reg
+        assert mgr.masters == ["acc0"]
+
+    def test_duplicate_rejected(self, sim):
+        mgr = QosManager(sim, 16.0)
+        mgr.register("acc0", tc_regulator(sim))
+        with pytest.raises(ConfigError):
+            mgr.register("acc0", tc_regulator(sim))
+
+    def test_unknown_lookup_rejected(self, sim):
+        mgr = QosManager(sim, 16.0)
+        with pytest.raises(ConfigError):
+            mgr.regulator("ghost")
+
+    def test_bad_peak_rejected(self, sim):
+        with pytest.raises(ConfigError):
+            QosManager(sim, 0.0)
+
+
+class TestBudgetProgramming:
+    def test_set_budget_converts_to_window_bytes(self, sim):
+        mgr = QosManager(sim, 16.0)
+        reg = tc_regulator(sim, window=1000, latency=4)
+        mgr.register("acc0", reg)
+        event = mgr.set_budget("acc0", BandwidthBudget(1.6))
+        assert event.budget_bytes == 1600
+        assert event.latency == 4
+        sim.run(until=10)
+        assert reg.budget_bytes == 1600
+
+    def test_memguard_uses_period_window(self, sim):
+        mgr = QosManager(sim, 16.0)
+        reg = MemGuardRegulator(
+            sim, MemGuardConfig(period_cycles=10_000, budget_bytes=1)
+        )
+        mgr.register("acc0", reg)
+        event = mgr.set_budget("acc0", BandwidthBudget(0.5))
+        assert event.budget_bytes == 5_000
+        assert event.effective_at == 10_000  # next period
+
+    def test_log_accumulates(self, sim):
+        mgr = QosManager(sim, 16.0)
+        mgr.register("acc0", tc_regulator(sim))
+        mgr.set_budget("acc0", BandwidthBudget(1.0))
+        mgr.set_budget("acc0", BandwidthBudget(2.0))
+        assert len(mgr.log) == 2
+
+    def test_current_budget(self, sim):
+        mgr = QosManager(sim, 16.0)
+        mgr.register("acc0", tc_regulator(sim, window=1000, budget=800))
+        budget = mgr.current_budget("acc0")
+        assert budget.bytes_per_cycle == pytest.approx(0.8)
+
+    def test_current_budget_none_for_passthrough(self, sim):
+        mgr = QosManager(sim, 16.0)
+        mgr.register("acc0", NoRegulation())
+        assert mgr.current_budget("acc0") is None
+
+
+class TestPolicyApplication:
+    def test_apply_policy_programs_named_masters(self, sim):
+        mgr = QosManager(sim, 16.0)
+        reg_a = tc_regulator(sim, window=1000)
+        reg_b = tc_regulator(sim, window=1000)
+        mgr.register("acc0", reg_a)
+        mgr.register("acc1", reg_b)
+        events = mgr.apply_policy(QosPolicy({"acc0": 0.25, "acc1": 0.125}))
+        assert len(events) == 2
+        sim.run(until=10)
+        assert reg_a.budget_bytes == 4000   # 0.25 * 16 * 1000
+        assert reg_b.budget_bytes == 2000
+
+    def test_policy_skips_unnamed_masters(self, sim):
+        mgr = QosManager(sim, 16.0)
+        mgr.register("acc0", tc_regulator(sim))
+        mgr.register("acc1", tc_regulator(sim))
+        events = mgr.apply_policy(QosPolicy({"acc0": 0.25}))
+        assert [e.master for e in events] == ["acc0"]
+
+    def test_oversubscribed_policy_rejected(self, sim):
+        mgr = QosManager(sim, 16.0)
+        mgr.register("acc0", tc_regulator(sim))
+        with pytest.raises(ConfigError):
+            mgr.apply_policy(QosPolicy({"acc0": 0.9, "other": 0.9}))

@@ -1,0 +1,59 @@
+"""QosManager behaviour with non-budget regulator kinds."""
+
+import pytest
+
+from repro.errors import RegulationError
+from repro.qos.budget import BandwidthBudget
+from repro.qos.manager import QosManager
+from repro.qos.policy import QosPolicy
+from repro.regulation.noreg import NoRegulation
+from repro.regulation.prem import PremController, PremRegulator
+from repro.regulation.tdma import TdmaRegulator, TdmaSchedule
+from repro.regulation.tightly_coupled import (
+    TightlyCoupledConfig,
+    TightlyCoupledRegulator,
+)
+
+
+@pytest.fixture
+def mixed_manager(sim):
+    mgr = QosManager(sim, peak_bytes_per_cycle=16.0)
+    mgr.register(
+        "tc",
+        TightlyCoupledRegulator(
+            sim, TightlyCoupledConfig(window_cycles=1000, budget_bytes=1000)
+        ),
+    )
+    mgr.register("tdma", TdmaRegulator(TdmaSchedule(100, 4), 0))
+    mgr.register("prem", PremRegulator(PremController(sim)))
+    mgr.register("noreg", NoRegulation())
+    return mgr
+
+
+class TestNonBudgetKinds:
+    def test_current_budget_is_none(self, mixed_manager):
+        assert mixed_manager.current_budget("tdma") is None
+        assert mixed_manager.current_budget("prem") is None
+        assert mixed_manager.current_budget("noreg") is None
+        assert mixed_manager.current_budget("tc") is not None
+
+    @pytest.mark.parametrize("name", ["tdma", "prem", "noreg"])
+    def test_set_budget_rejected_clearly(self, mixed_manager, name):
+        with pytest.raises(RegulationError):
+            mixed_manager.set_budget(name, BandwidthBudget(1.0))
+
+    def test_policy_naming_non_budget_kind_fails_loudly(self, mixed_manager):
+        # A policy that names a TDMA master cannot be silently
+        # ignored: the caller gets the per-kind error.
+        policy = QosPolicy({"tc": 0.1, "tdma": 0.1})
+        with pytest.raises(RegulationError):
+            mixed_manager.apply_policy(policy)
+
+    def test_policy_over_budget_kinds_only_succeeds(self, mixed_manager, sim):
+        events = mixed_manager.apply_policy(QosPolicy({"tc": 0.25}))
+        assert [e.master for e in events] == ["tc"]
+        sim.run(until=10)
+        assert (
+            mixed_manager.current_budget("tc").bytes_per_cycle
+            == pytest.approx(4.0)
+        )

@@ -1,0 +1,62 @@
+"""Unit tests for QoS policies."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.qos.policy import QosPolicy, critical_plus_besteffort, proportional_shares
+
+
+class TestQosPolicy:
+    def test_total_and_feasibility(self):
+        policy = QosPolicy({"a": 0.5, "b": 0.3})
+        assert policy.total_share == pytest.approx(0.8)
+        assert policy.is_feasible()
+
+    def test_oversubscription_detected(self):
+        policy = QosPolicy({"a": 0.7, "b": 0.6})
+        assert not policy.is_feasible()
+        assert policy.is_feasible(headroom=1.5)
+
+    def test_share_bounds(self):
+        with pytest.raises(ConfigError):
+            QosPolicy({"a": 0.0})
+        with pytest.raises(ConfigError):
+            QosPolicy({"a": 1.5})
+
+    def test_share_of_missing_master(self):
+        policy = QosPolicy({"a": 0.5})
+        assert policy.share_of("a") == 0.5
+        with pytest.raises(ConfigError):
+            policy.share_of("b")
+
+
+class TestConstructors:
+    def test_proportional(self):
+        policy = proportional_shares({"x": 0.2}, name="p")
+        assert policy.name == "p"
+        assert policy.share_of("x") == 0.2
+
+    def test_critical_plus_besteffort(self):
+        policy = critical_plus_besteffort(
+            critical=["cpu0"],
+            best_effort=["acc0", "acc1", "acc2", "acc3"],
+            critical_share=0.3,
+            best_effort_total=0.4,
+        )
+        assert policy.share_of("cpu0") == 0.3
+        assert policy.share_of("acc0") == pytest.approx(0.1)
+        assert policy.total_share == pytest.approx(0.7)
+
+    def test_empty_best_effort_with_share_rejected(self):
+        with pytest.raises(ConfigError):
+            critical_plus_besteffort(
+                critical=["cpu0"], best_effort=[],
+                critical_share=0.3, best_effort_total=0.4,
+            )
+
+    def test_critical_only(self):
+        policy = critical_plus_besteffort(
+            critical=["cpu0"], best_effort=[],
+            critical_share=0.5, best_effort_total=0.0,
+        )
+        assert policy.shares == {"cpu0": 0.5}

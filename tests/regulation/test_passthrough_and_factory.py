@@ -1,0 +1,120 @@
+"""Unit tests for NoRegulation, StaticQosRegulator and the factory."""
+
+import pytest
+
+from repro.errors import ConfigError, RegulationError
+from repro.axi.txn import Transaction
+from repro.regulation.factory import KINDS, RegulatorSpec, make_regulator
+from repro.regulation.memguard import MemGuardRegulator
+from repro.regulation.noreg import NoRegulation
+from repro.regulation.static_qos import StaticQosRegulator
+from repro.regulation.tightly_coupled import TightlyCoupledRegulator
+
+
+def txn(qos=0):
+    return Transaction(master="m", is_write=False, addr=0, burst_len=4, qos=qos)
+
+
+class TestNoRegulation:
+    def test_always_admits(self, sim):
+        reg = NoRegulation()
+        for now in (0, 5, 1000):
+            assert reg.may_issue(txn(), now)
+        assert reg.next_opportunity(txn(), 7) == 7
+
+    def test_no_budget_interface(self, sim):
+        with pytest.raises(RegulationError):
+            NoRegulation().set_budget_bytes(100, 0)
+
+    def test_monitor_window_attached(self, sim, mini_norefresh):
+        reg = NoRegulation(monitor_window=256)
+        mini_norefresh.add_port("m0", regulator=reg)
+        assert reg.monitor is not None
+        assert reg.monitor.window_cycles == 256
+
+    def test_no_monitor_by_default(self, sim, mini_norefresh):
+        reg = NoRegulation()
+        mini_norefresh.add_port("m0", regulator=reg)
+        assert reg.monitor is None
+
+
+class TestStaticQos:
+    def test_stamps_qos_on_admission(self, sim):
+        reg = StaticQosRegulator(qos=11)
+        t = txn(qos=0)
+        assert reg.may_issue(t, 0)
+        assert t.qos == 11
+
+    def test_validation(self):
+        with pytest.raises(RegulationError):
+            StaticQosRegulator(qos=16)
+
+    def test_never_denies(self, sim):
+        reg = StaticQosRegulator(qos=15)
+        assert all(reg.may_issue(txn(), now) for now in range(5))
+
+
+class TestFactory:
+    def test_none_yields_none(self, sim):
+        assert make_regulator(None, sim) is None
+        assert make_regulator(RegulatorSpec(kind="none"), sim) is None
+
+    def test_kinds_constructed(self, sim):
+        assert isinstance(
+            make_regulator(RegulatorSpec(kind="noreg"), sim), NoRegulation
+        )
+        assert isinstance(
+            make_regulator(RegulatorSpec(kind="static_qos", qos=9), sim),
+            StaticQosRegulator,
+        )
+        assert isinstance(
+            make_regulator(RegulatorSpec(kind="tightly_coupled"), sim),
+            TightlyCoupledRegulator,
+        )
+        assert isinstance(
+            make_regulator(RegulatorSpec(kind="memguard"), sim),
+            MemGuardRegulator,
+        )
+
+    def test_spec_fields_forwarded(self, sim):
+        spec = RegulatorSpec(
+            kind="tightly_coupled",
+            window_cycles=512,
+            budget_bytes=2048,
+            carryover_windows=2,
+            feedback_delay=64,
+            reconfig_latency=9,
+        )
+        reg = make_regulator(spec, sim)
+        assert reg.config.window_cycles == 512
+        assert reg.config.budget_bytes == 2048
+        assert reg.config.carryover_windows == 2
+        assert reg.config.feedback_delay == 64
+        assert reg.config.reconfig_latency == 9
+
+    def test_memguard_fields_forwarded(self, sim):
+        spec = RegulatorSpec(
+            kind="memguard", period_cycles=99_000, budget_bytes=7,
+            interrupt_latency=123,
+        )
+        reg = make_regulator(spec, sim)
+        assert reg.config.period_cycles == 99_000
+        assert reg.config.budget_bytes == 7
+        assert reg.config.interrupt_latency == 123
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ConfigError):
+            RegulatorSpec(kind="fancy")
+
+    def test_rate_helper(self):
+        spec = RegulatorSpec(kind="tightly_coupled", window_cycles=100,
+                             budget_bytes=50)
+        assert spec.bandwidth_bytes_per_cycle() == 0.5
+        with pytest.raises(ConfigError):
+            RegulatorSpec(kind="noreg").bandwidth_bytes_per_cycle()
+
+    def test_kind_list_stable(self):
+        assert set(KINDS) == {
+            "none", "noreg", "tightly_coupled", "memguard", "static_qos",
+            "tdma", "prem",
+        }

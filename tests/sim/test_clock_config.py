@@ -1,0 +1,49 @@
+"""Unit tests for ClockSpec unit conversions."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.sim.config import ClockSpec
+
+
+class TestClockSpec:
+    def test_period(self):
+        clock = ClockSpec(freq_mhz=250.0)
+        assert clock.period_ns == pytest.approx(4.0)
+
+    def test_cycles_from_ns(self):
+        clock = ClockSpec(freq_mhz=250.0)
+        assert clock.cycles_from_ns(4.0) == 1
+        assert clock.cycles_from_ns(1000.0) == 250
+        assert clock.cycles_from_ns(0.0) == 0
+
+    def test_cycles_from_ns_rounds_to_at_least_one(self):
+        clock = ClockSpec(freq_mhz=250.0)
+        assert clock.cycles_from_ns(0.1) == 1
+
+    def test_cycles_from_us(self):
+        clock = ClockSpec(freq_mhz=250.0)
+        assert clock.cycles_from_us(1.0) == 250
+        assert clock.cycles_from_us(1000.0) == 250_000  # 1 ms OS tick
+
+    def test_bandwidth_roundtrip(self):
+        clock = ClockSpec(freq_mhz=250.0)
+        bpc = clock.bytes_per_cycle_from_gbps(4.0)
+        assert bpc == pytest.approx(16.0)
+        assert clock.gbps_from_bytes_per_cycle(bpc) == pytest.approx(4.0)
+
+    def test_gbps_from_bytes_interval(self):
+        clock = ClockSpec(freq_mhz=250.0)
+        # 16 B/cycle sustained for 1000 cycles = 4 GB/s.
+        assert clock.gbps_from_bytes(16_000, 1000) == pytest.approx(4.0)
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            ClockSpec(freq_mhz=0)
+        clock = ClockSpec()
+        with pytest.raises(ConfigError):
+            clock.cycles_from_ns(-1)
+        with pytest.raises(ConfigError):
+            clock.bytes_per_cycle_from_gbps(-1)
+        with pytest.raises(ConfigError):
+            clock.gbps_from_bytes(10, 0)

@@ -1,0 +1,79 @@
+"""Unit tests for the event queue primitives."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.event import Event, EventQueue
+
+
+class TestEventOrdering:
+    def test_orders_by_time(self):
+        q = EventQueue()
+        fired = []
+        q.push(10, 0, lambda: fired.append("b"))
+        q.push(5, 0, lambda: fired.append("a"))
+        q.pop().callback()
+        q.pop().callback()
+        assert fired == ["a", "b"]
+
+    def test_same_time_orders_by_priority(self):
+        q = EventQueue()
+        fired = []
+        q.push(5, 7, lambda: fired.append("low"))
+        q.push(5, 1, lambda: fired.append("high"))
+        q.pop().callback()
+        q.pop().callback()
+        assert fired == ["high", "low"]
+
+    def test_same_time_same_priority_fifo(self):
+        q = EventQueue()
+        fired = []
+        for i in range(5):
+            q.push(5, 0, lambda i=i: fired.append(i))
+        while len(q):
+            q.pop().callback()
+        assert fired == [0, 1, 2, 3, 4]
+
+    def test_event_lt_comparison(self):
+        a = Event(1, 0, 0, lambda: None)
+        b = Event(1, 0, 1, lambda: None)
+        assert a < b
+        assert not (b < a)
+
+
+class TestCancellation:
+    def test_cancelled_event_is_skipped(self):
+        q = EventQueue()
+        fired = []
+        ev = q.push(1, 0, lambda: fired.append("x"))
+        q.push(2, 0, lambda: fired.append("y"))
+        ev.cancel()
+        assert q.pop().callback() is None or True
+        assert fired == ["y"]
+
+    def test_pop_empty_raises(self):
+        q = EventQueue()
+        with pytest.raises(SimulationError):
+            q.pop()
+
+    def test_pop_all_cancelled_raises(self):
+        q = EventQueue()
+        q.push(1, 0, lambda: None).cancel()
+        with pytest.raises(SimulationError):
+            q.pop()
+
+    def test_peek_skips_cancelled(self):
+        q = EventQueue()
+        q.push(1, 0, lambda: None).cancel()
+        q.push(9, 0, lambda: None)
+        assert q.peek_time() == 9
+
+    def test_peek_empty_returns_none(self):
+        assert EventQueue().peek_time() is None
+
+    def test_clear(self):
+        q = EventQueue()
+        q.push(1, 0, lambda: None)
+        q.clear()
+        assert q.peek_time() is None
+        assert len(q) == 0

@@ -1,0 +1,89 @@
+"""Unit tests for the experiment runner and result bundles."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.soc.experiment import run_experiment, run_solo_baseline
+from repro.soc.platform import MasterSpec, PlatformConfig
+from repro.soc.presets import zcu102
+
+
+def small_config(num_accels=2, cpu_work=500):
+    return zcu102(num_accels=num_accels, cpu_work=cpu_work)
+
+
+class TestRunExperiment:
+    def test_returns_results_for_all_masters(self):
+        result = run_experiment(small_config())
+        assert set(result.masters) == {"cpu0", "acc0", "acc1"}
+
+    def test_critical_helpers(self):
+        result = run_experiment(small_config())
+        critical = result.critical()
+        assert critical.name == "cpu0"
+        assert critical.finished_at is not None
+        assert result.critical_runtime() == critical.finished_at
+
+    def test_latency_stats_populated(self):
+        result = run_experiment(small_config())
+        m = result.critical()
+        assert 0 < m.latency_p50 <= m.latency_p95 <= m.latency_p99
+        assert m.latency_mean > 0
+        assert m.completed == 500
+
+    def test_dram_results(self):
+        result = run_experiment(small_config())
+        assert result.dram.serviced > 0
+        assert 0 < result.dram.utilization <= 1.0
+        assert 0 <= result.dram.row_hit_rate <= 1.0
+
+    def test_bandwidth_gbps(self):
+        result = run_experiment(small_config())
+        gbps = result.bandwidth_gbps("acc0")
+        assert 0 < gbps < 4.0
+
+    def test_unknown_master_rejected(self):
+        result = run_experiment(small_config())
+        with pytest.raises(ConfigError):
+            result.master("ghost")
+
+    def test_critical_unfinished_raises(self):
+        # Horizon too small for the critical work under interference.
+        result = run_experiment(small_config(cpu_work=100_000), max_cycles=1_000)
+        with pytest.raises(ConfigError):
+            result.critical_runtime()
+
+    def test_no_critical_master_rejected_by_critical(self):
+        config = PlatformConfig(
+            masters=(
+                MasterSpec(
+                    name="acc0", workload="stream_read",
+                    region_base=0, region_extent=1 << 20, work=4096,
+                ),
+            )
+        )
+        result = run_experiment(config, max_cycles=100_000)
+        with pytest.raises(ConfigError):
+            result.critical()
+
+
+class TestSoloBaseline:
+    def test_solo_is_faster_than_loaded(self):
+        config = small_config(num_accels=4)
+        loaded = run_experiment(config)
+        solo = run_solo_baseline(config, "cpu0")
+        assert solo.critical_runtime() < loaded.critical_runtime()
+
+    def test_solo_keeps_regulator(self):
+        from repro.regulation.factory import RegulatorSpec
+
+        config = zcu102(
+            num_accels=1,
+            cpu_work=200,
+            accel_regulator=RegulatorSpec(
+                kind="tightly_coupled", budget_bytes=1024, window_cycles=1024
+            ),
+        )
+        solo = run_solo_baseline(config, "acc0", max_cycles=100_000)
+        # The accelerator alone still gets throttled to ~1 B/cycle.
+        assert solo.master("acc0").bandwidth_bytes_per_cycle < 1.3

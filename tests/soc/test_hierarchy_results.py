@@ -1,0 +1,65 @@
+"""PlatformResult / report compatibility with the two-level platform."""
+
+from repro.analysis.report import render_report
+from repro.soc.experiment import PlatformResult
+from repro.soc.hierarchy import TwoLevelConfig, TwoLevelPlatform
+from repro.soc.platform import MasterSpec
+
+MB = 1 << 20
+
+
+def build_platform():
+    config = TwoLevelConfig(
+        cpus=(
+            MasterSpec(
+                name="cpu0", workload="latency_probe",
+                region_base=0x1000_0000, region_extent=4 * MB,
+                work=500, max_outstanding=4, critical=True,
+            ),
+        ),
+        accels=(
+            MasterSpec(
+                name="acc0", workload="stream_read",
+                region_base=0x2000_0000, region_extent=4 * MB,
+                work=32 * 1024,
+            ),
+        ),
+    )
+    return TwoLevelPlatform(config)
+
+
+class TestTwoLevelResults:
+    def test_platform_result_includes_bridge_port(self):
+        platform = build_platform()
+        elapsed = platform.run(4_000_000, stop_when_critical_done=False)
+        result = PlatformResult(platform, elapsed)
+        assert set(result.masters) == {"cpu0", "acc0", "hp0"}
+        # The bridge port carries the accelerator's traffic.
+        assert result.master("hp0").bytes_moved == result.master(
+            "acc0"
+        ).bytes_moved
+        assert result.master("hp0").finished_at is None
+
+    def test_critical_helpers_work(self):
+        platform = build_platform()
+        elapsed = platform.run(4_000_000, stop_when_critical_done=False)
+        result = PlatformResult(platform, elapsed)
+        assert result.critical().name == "cpu0"
+        assert result.critical_runtime() > 0
+
+    def test_report_renders(self):
+        platform = build_platform()
+        elapsed = platform.run(4_000_000, stop_when_critical_done=False)
+        result = PlatformResult(platform, elapsed)
+        text = render_report(result, title="two-level")
+        assert "hp0" in text
+        assert "cpu0" in text
+
+    def test_json_export(self, tmp_path):
+        platform = build_platform()
+        elapsed = platform.run(4_000_000, stop_when_critical_done=False)
+        result = PlatformResult(platform, elapsed)
+        path = str(tmp_path / "two_level.json")
+        result.save_json(path)
+        back = PlatformResult.load_json(path)
+        assert "hp0" in back["masters"]

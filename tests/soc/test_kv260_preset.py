@@ -1,0 +1,73 @@
+"""Tests for the KV260 preset and cross-platform sanity."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.regulation.factory import RegulatorSpec
+from repro.soc.experiment import run_experiment
+from repro.soc.presets import kv260, zcu102
+
+
+class TestKv260Shape:
+    def test_defaults(self):
+        config = kv260()
+        names = [m.name for m in config.masters]
+        assert names == ["cpu0", "acc0", "acc1"]
+        assert config.masters[0].critical
+        # Half-width channel: 8 B/beat.
+        assert config.peak_bytes_per_cycle == 8.0
+        assert config.clock.freq_mhz == 200.0
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            kv260(num_accels=-1)
+
+    def test_regulator_applied(self):
+        spec = RegulatorSpec(kind="tightly_coupled")
+        config = kv260(num_accels=1, accel_regulator=spec)
+        assert config.masters[1].regulator is spec
+
+
+class TestCrossPlatformSanity:
+    """Qualitative results must survive the change of board."""
+
+    def test_interference_shape_holds(self):
+        solo = run_experiment(kv260(num_accels=0, cpu_work=1000))
+        loaded = run_experiment(kv260(num_accels=2, cpu_work=1000))
+        assert loaded.critical_runtime() > solo.critical_runtime() * 2
+
+    def test_regulation_protects(self):
+        spec = RegulatorSpec(
+            kind="tightly_coupled", window_cycles=256,
+            budget_bytes=round(0.1 * 8.0 * 256),
+        )
+        unreg = run_experiment(kv260(num_accels=2, cpu_work=1000))
+        reg = run_experiment(
+            kv260(num_accels=2, cpu_work=1000, accel_regulator=spec)
+        )
+        assert reg.critical_runtime() < unreg.critical_runtime()
+
+    def test_regulated_rate_bounded(self):
+        spec = RegulatorSpec(
+            kind="tightly_coupled", window_cycles=256,
+            budget_bytes=round(0.2 * 8.0 * 256),
+        )
+        result = run_experiment(
+            kv260(num_accels=2, cpu_work=1000, accel_regulator=spec)
+        )
+        configured = 0.2 * 8.0
+        for name in ("acc0", "acc1"):
+            assert (
+                result.master(name).bandwidth_bytes_per_cycle
+                <= configured * 1.05
+            )
+
+    def test_smaller_channel_saturates_sooner(self):
+        kv = run_experiment(kv260(num_accels=2, cpu_work=1000))
+        zu = run_experiment(zcu102(num_accels=2, cpu_work=1000))
+        # Same hog count hurts the narrower channel more.
+        kv_solo = run_experiment(kv260(num_accels=0, cpu_work=1000))
+        zu_solo = run_experiment(zcu102(num_accels=0, cpu_work=1000))
+        kv_slowdown = kv.critical_runtime() / kv_solo.critical_runtime()
+        zu_slowdown = zu.critical_runtime() / zu_solo.critical_runtime()
+        assert kv_slowdown > zu_slowdown

@@ -1,0 +1,71 @@
+"""Unit tests for the ZCU102-like preset."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.regulation.factory import RegulatorSpec
+from repro.soc.presets import (
+    REGION_BYTES,
+    accel_names,
+    cpu_names,
+    zcu102,
+    zcu102_clock,
+    zcu102_dram,
+)
+
+
+class TestZcu102Preset:
+    def test_default_shape(self):
+        config = zcu102()
+        assert cpu_names(config) == ("cpu0",)
+        assert accel_names(config) == ("acc0", "acc1", "acc2", "acc3")
+        assert config.masters[0].critical
+
+    def test_counts(self):
+        config = zcu102(num_cpus=2, num_accels=3)
+        assert len(cpu_names(config)) == 2
+        assert len(accel_names(config)) == 3
+        # Only the first CPU is critical.
+        criticals = [m.name for m in config.masters if m.critical]
+        assert criticals == ["cpu0"]
+
+    def test_regions_disjoint(self):
+        config = zcu102(num_cpus=2, num_accels=4)
+        regions = sorted(m.region_base for m in config.masters)
+        for earlier, later in zip(regions, regions[1:]):
+            assert later - earlier >= REGION_BYTES
+
+    def test_regulators_applied_to_accels_only(self):
+        spec = RegulatorSpec(kind="tightly_coupled")
+        config = zcu102(num_accels=2, accel_regulator=spec)
+        for master in config.masters:
+            if master.name.startswith("acc"):
+                assert master.regulator is spec
+            else:
+                assert master.regulator is None
+
+    def test_arbiter_override(self):
+        config = zcu102(arbiter="qos")
+        assert config.interconnect.arbiter == "qos"
+
+    def test_scheduler_override(self):
+        config = zcu102(scheduler="fcfs")
+        assert config.dram.scheduler == "fcfs"
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            zcu102(num_cpus=0)
+        with pytest.raises(ConfigError):
+            zcu102(num_accels=-1)
+
+    def test_clock_and_peak(self):
+        clock = zcu102_clock()
+        assert clock.freq_mhz == 250.0
+        dram = zcu102_dram()
+        assert dram.timing.peak_bytes_per_cycle == 16.0
+        # 16 B/cycle at 250 MHz = 4 GB/s channel peak.
+        assert clock.gbps_from_bytes_per_cycle(16.0) == pytest.approx(4.0)
+
+    def test_zero_accels_allowed(self):
+        config = zcu102(num_accels=0)
+        assert accel_names(config) == ()

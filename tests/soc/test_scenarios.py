@@ -1,0 +1,83 @@
+"""Tests for the named scenario library and result serialization."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.regulation.factory import RegulatorSpec
+from repro.soc.experiment import run_experiment
+from repro.soc.scenarios import SCENARIOS, make_scenario
+
+
+class TestScenarioTemplates:
+    def test_registry_contents(self):
+        assert set(SCENARIOS) == {"adas", "video_pipeline", "industrial"}
+        for scenario in SCENARIOS.values():
+            assert scenario.description
+            criticals = [a for a in scenario.actors if a.critical]
+            assert len(criticals) == 1
+
+    def test_unknown_scenario(self):
+        with pytest.raises(ConfigError):
+            make_scenario("datacenter")
+
+    def test_unknown_regulator_target(self):
+        with pytest.raises(ConfigError):
+            make_scenario("adas", regulators={"ghost": RegulatorSpec()})
+
+    def test_regions_disjoint(self):
+        config = make_scenario("adas")
+        spans = sorted(
+            (m.region_base, m.region_base + m.region_extent)
+            for m in config.masters
+        )
+        for (_, end_a), (start_b, _) in zip(spans, spans[1:]):
+            assert start_b >= end_a
+
+
+class TestScenarioExecution:
+    @pytest.mark.parametrize("name", sorted(SCENARIOS))
+    def test_runs_to_critical_completion(self, name):
+        result = run_experiment(make_scenario(name), max_cycles=8_000_000)
+        assert result.critical().finished_at is not None
+
+    def test_regulation_improves_adas_control(self):
+        unreg = run_experiment(make_scenario("adas"), max_cycles=8_000_000)
+        spec = RegulatorSpec(
+            kind="tightly_coupled", window_cycles=256, budget_bytes=410
+        )
+        regulated = run_experiment(
+            make_scenario(
+                "adas",
+                regulators={
+                    "camera": spec, "lidar": spec, "cnn": spec,
+                    "logger": spec,
+                },
+            ),
+            max_cycles=8_000_000,
+        )
+        assert regulated.critical_runtime() < unreg.critical_runtime()
+
+
+class TestResultSerialization:
+    def test_to_dict_structure(self):
+        result = run_experiment(make_scenario("industrial"),
+                                max_cycles=8_000_000)
+        data = result.to_dict()
+        assert data["elapsed"] == result.elapsed
+        assert set(data["masters"]) == set(result.masters)
+        assert data["dram"]["serviced"] == result.dram.serviced
+        assert data["reconfig_log"] == []
+
+    def test_json_roundtrip(self, tmp_path):
+        from repro.soc.experiment import PlatformResult
+
+        result = run_experiment(make_scenario("industrial"),
+                                max_cycles=8_000_000)
+        path = str(tmp_path / "run.json")
+        result.save_json(path)
+        back = PlatformResult.load_json(path)
+        assert back["elapsed"] == result.elapsed
+        assert (
+            back["masters"]["control_loop"]["completed"]
+            == result.master("control_loop").completed
+        )

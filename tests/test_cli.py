@@ -1,0 +1,88 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_defaults(self):
+        args = build_parser().parse_args(["regulate"])
+        assert args.kind == "tightly_coupled"
+        assert args.share == 0.1
+        assert args.hogs == 4
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+
+class TestCommands:
+    def test_resources(self, capsys):
+        assert main(["resources", "--channels", "1", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "LUTs" in out
+        assert "channels" in out
+
+    def test_interfere_small(self, capsys):
+        assert main(["interfere", "--hogs", "1", "--work", "300"]) == 0
+        out = capsys.readouterr().out
+        assert "slowdown" in out
+        # One row per hog count 0..1 plus header/ruler/title.
+        assert len(out.strip().splitlines()) == 5
+
+    def test_regulate_tc(self, capsys):
+        code = main(
+            ["regulate", "--kind", "tightly_coupled", "--share", "0.2",
+             "--hogs", "1", "--work", "300"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "acc0" in out and "cpu0" in out
+
+    def test_regulate_memguard_with_reclaim(self, capsys):
+        code = main(
+            ["regulate", "--kind", "memguard", "--share", "0.2",
+             "--hogs", "2", "--work", "300", "--reclaim",
+             "--period", "20000"]
+        )
+        assert code == 0
+
+    def test_accuracy(self, capsys):
+        code = main(
+            ["accuracy", "--share", "0.2", "--horizon", "100000"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "tightly_coupled" in out and "memguard" in out
+
+    def test_bound_sound(self, capsys):
+        assert main(["bound", "--hogs", "2", "--work", "500"]) == 0
+        out = capsys.readouterr().out
+        assert "analytic_bound_cyc" in out
+
+    def test_scenario_list(self, capsys):
+        assert main(["scenario", "--list"]) == 0
+        out = capsys.readouterr().out
+        assert "adas" in out and "industrial" in out
+
+    def test_scenario_run(self, capsys):
+        assert main(["scenario", "industrial", "--kind", "none"]) == 0
+        out = capsys.readouterr().out
+        assert "control_loop" in out
+
+    def test_scenario_unknown(self, capsys):
+        assert main(["scenario", "warehouse"]) == 2
+
+    def test_report(self, capsys):
+        code = main(
+            ["report", "--hogs", "1", "--work", "300", "--share", "0.2"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Masters" in out
+        assert "slowdown" in out

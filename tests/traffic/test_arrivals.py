@@ -1,0 +1,130 @@
+"""Tests for open-loop arrival traffic."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.sim.rng import component_rng
+from repro.traffic.arrivals import OpenLoopConfig, OpenLoopMaster
+from repro.traffic.patterns import SequentialPattern
+
+
+def make_master(sim, mini, **cfg_kwargs):
+    defaults = dict(
+        pattern=SequentialPattern(0, 1 << 20, 64),
+        arrival="periodic",
+        mean_gap_cycles=100.0,
+        num_requests=20,
+    )
+    defaults.update(cfg_kwargs)
+    port = mini.add_port("open", max_outstanding=32)
+    return OpenLoopMaster(sim, port, OpenLoopConfig(**defaults))
+
+
+class TestConfigValidation:
+    def test_pattern_required(self):
+        with pytest.raises(ConfigError):
+            OpenLoopConfig(pattern=None)
+
+    def test_bad_values(self):
+        pattern = SequentialPattern(0, 4096, 64)
+        with pytest.raises(ConfigError):
+            OpenLoopConfig(pattern=pattern, arrival="uniform")
+        with pytest.raises(ConfigError):
+            OpenLoopConfig(pattern=pattern, mean_gap_cycles=0)
+        with pytest.raises(ConfigError):
+            OpenLoopConfig(pattern=pattern, arrival="periodic",
+                           jitter_cycles=200, mean_gap_cycles=100)
+        with pytest.raises(ConfigError):
+            OpenLoopConfig(pattern=pattern, num_requests=0)
+
+    def test_stochastic_needs_rng(self):
+        pattern = SequentialPattern(0, 4096, 64)
+        with pytest.raises(ConfigError):
+            OpenLoopConfig(pattern=pattern, arrival="poisson")
+        with pytest.raises(ConfigError):
+            OpenLoopConfig(pattern=pattern, arrival="periodic",
+                           jitter_cycles=10)
+        # Deterministic periodic is fine without one.
+        OpenLoopConfig(pattern=pattern, arrival="periodic")
+
+    def test_offered_load(self):
+        cfg = OpenLoopConfig(
+            pattern=SequentialPattern(0, 4096, 64),
+            arrival="periodic", mean_gap_cycles=64.0, burst_len=4,
+        )
+        assert cfg.offered_load_bytes_per_cycle() == pytest.approx(1.0)
+
+
+class TestPeriodicArrivals:
+    def test_exact_cadence(self, sim, mini_norefresh):
+        master = make_master(sim, mini_norefresh, num_requests=5)
+        arrival_times = []
+        original = master._arrive
+
+        def spy():
+            arrival_times.append(sim.now)
+            original()
+
+        master._arrive = spy
+        master.start()
+        sim.run()
+        assert arrival_times == [100, 200, 300, 400, 500]
+        assert master.done
+        assert master.backlog == 0
+
+    def test_arrivals_do_not_stop_under_congestion(self, sim, mini_norefresh):
+        # Tiny gaps on a loaded port: arrivals keep coming, backlog
+        # grows in the port queue.
+        master = make_master(
+            sim, mini_norefresh, mean_gap_cycles=2.0, num_requests=None,
+        )
+        master.start()
+        sim.run(until=2_000)
+        assert master.arrived > 500  # external clock kept firing
+        assert master.backlog > 0
+
+
+class TestPoissonArrivals:
+    def test_deterministic_with_seed(self, sim, mini_norefresh):
+        rng = component_rng(7, "open")
+        master = make_master(
+            sim, mini_norefresh, arrival="poisson", rng=rng, num_requests=30
+        )
+        master.start()
+        sim.run()
+        finish_a = master.finished_at
+
+        from repro.dram.controller import DramConfig
+        from repro.dram.timing import DramTiming
+        from repro.sim.kernel import Simulator
+        from tests.conftest import MiniSystem
+
+        sim2 = Simulator()
+        mini2 = MiniSystem(
+            sim2,
+            dram_config=DramConfig(timing=DramTiming(),
+                                   refresh_enabled=False),
+        )
+        master2 = OpenLoopMaster(
+            sim2,
+            mini2.add_port("open", max_outstanding=32),
+            OpenLoopConfig(
+                pattern=SequentialPattern(0, 1 << 20, 64),
+                arrival="poisson", mean_gap_cycles=100.0,
+                num_requests=30, rng=component_rng(7, "open"),
+            ),
+        )
+        master2.start()
+        sim2.run()
+        assert master2.finished_at == finish_a
+
+    def test_mean_rate_approximates_configured(self, sim, mini_norefresh):
+        rng = component_rng(3, "open")
+        master = make_master(
+            sim, mini_norefresh, arrival="poisson", rng=rng,
+            mean_gap_cycles=50.0, num_requests=400,
+        )
+        master.start()
+        sim.run()
+        mean_gap = master.finished_at / 400
+        assert 0.7 * 50 < mean_gap < 1.3 * 50

@@ -1,0 +1,144 @@
+"""Unit tests for the latency-sensitive CPU core model."""
+
+import pytest
+
+from repro.errors import ConfigError, ProtocolError
+from repro.traffic.cpu import CpuConfig, CpuCore
+from repro.traffic.patterns import SequentialPattern
+
+
+def make_core(sim, mini, name="cpu0", **cfg_kwargs):
+    defaults = dict(
+        pattern=SequentialPattern(0, 1 << 20, 64),
+        num_accesses=50,
+        think_cycles=10,
+        mlp=2,
+    )
+    defaults.update(cfg_kwargs)
+    port = mini.add_port(name, max_outstanding=4)
+    return CpuCore(sim, port, CpuConfig(**defaults))
+
+
+class TestConfigValidation:
+    def test_pattern_required(self):
+        with pytest.raises(ConfigError):
+            CpuConfig(pattern=None)
+
+    def test_bad_values(self):
+        pattern = SequentialPattern(0, 1024, 64)
+        with pytest.raises(ConfigError):
+            CpuConfig(pattern=pattern, num_accesses=0)
+        with pytest.raises(ConfigError):
+            CpuConfig(pattern=pattern, think_cycles=-1)
+        with pytest.raises(ConfigError):
+            CpuConfig(pattern=pattern, mlp=0)
+        with pytest.raises(ConfigError):
+            CpuConfig(pattern=pattern, line_bytes=60)
+        with pytest.raises(ConfigError):
+            CpuConfig(pattern=pattern, write_ratio=1.5)
+
+
+class TestExecution:
+    def test_completes_configured_work(self, sim, mini):
+        core = make_core(sim, mini, num_accesses=50)
+        core.start()
+        sim.run()
+        assert core.done
+        assert core.completed_accesses == 50
+        assert core.runtime() > 0
+
+    def test_on_finish_hook(self, sim, mini):
+        core = make_core(sim, mini)
+        seen = []
+        core.on_finish = seen.append
+        core.start()
+        sim.run()
+        assert seen == [core.finished_at]
+
+    def test_runtime_before_finish_raises(self, sim, mini):
+        core = make_core(sim, mini)
+        with pytest.raises(ConfigError):
+            core.runtime()
+
+    def test_double_start_rejected(self, sim, mini):
+        core = make_core(sim, mini)
+        core.start()
+        with pytest.raises(ProtocolError):
+            core.start()
+
+    def test_start_at_delays_first_issue(self, sim, mini):
+        core = make_core(sim, mini, num_accesses=1)
+        core.start(at=500)
+        sim.run()
+        assert core.finished_at > 500
+
+
+class TestDependentLatency:
+    def test_think_time_lengthens_runtime(self, sim, mini):
+        fast = make_core(sim, mini, name="fast", think_cycles=0, num_accesses=30)
+        fast.start()
+        sim.run()
+        t_fast = fast.runtime()
+
+        # Fresh system for the slow core.
+        from repro.sim.kernel import Simulator
+        from tests.conftest import MiniSystem
+
+        sim2 = Simulator()
+        mini2 = MiniSystem(sim2)
+        slow = make_core(sim2, mini2, name="slow", think_cycles=200, num_accesses=30)
+        slow.start()
+        sim2.run()
+        assert slow.runtime() > t_fast
+
+    def test_mlp_one_fully_serializes(self, sim, mini):
+        core = make_core(sim, mini, mlp=1, num_accesses=20, think_cycles=0)
+        timeline = []
+        original = core._issue_next
+
+        def spy():
+            timeline.append((sim.now, core.port.outstanding + core.port.queue_depth))
+            original()
+
+        core._issue_next = spy
+        core.start()
+        sim.run()
+        # With MLP=1 there is never more than one request in the system
+        # when a new one is issued.
+        assert all(inflight == 0 for _t, inflight in timeline)
+
+    def test_mlp_bounds_inflight(self, sim, mini):
+        core = make_core(sim, mini, mlp=3, num_accesses=40, think_cycles=0)
+        core.start()
+        max_seen = 0
+
+        def probe(nbytes, now):
+            nonlocal max_seen
+            max_seen = max(max_seen, core.port.outstanding + core.port.queue_depth)
+
+        core.port.beat_observers.append(probe)
+        sim.run()
+        assert max_seen <= 3
+
+
+class TestWriteMixing:
+    def test_write_ratio_deterministic_mix(self, sim, mini):
+        core = make_core(sim, mini, write_ratio=0.25, num_accesses=40)
+        writes = []
+        core.port.beat_observers.append(lambda n, t: None)
+        original_issue = core.issue
+
+        def spy(is_write, **kwargs):
+            writes.append(is_write)
+            return original_issue(is_write=is_write, **kwargs)
+
+        core.issue = spy
+        core.start()
+        sim.run()
+        assert sum(writes) == 10  # exactly 25% of 40
+
+    def test_zero_ratio_all_reads(self, sim, mini):
+        core = make_core(sim, mini, write_ratio=0.0, num_accesses=20)
+        core.start()
+        sim.run()
+        assert core.stats.counter("issued").value == 20

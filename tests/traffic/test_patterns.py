@@ -1,0 +1,131 @@
+"""Unit tests for address patterns."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import ConfigError
+from repro.sim.rng import component_rng
+from repro.traffic.patterns import (
+    RandomPattern,
+    SequentialPattern,
+    StridedPattern,
+    make_pattern,
+)
+
+
+class TestSequential:
+    def test_linear_walk(self):
+        p = SequentialPattern(base=0x100, extent=1024, access_bytes=64)
+        assert [p.next_addr() for _ in range(3)] == [0x100, 0x140, 0x180]
+
+    def test_wraps_at_extent(self):
+        p = SequentialPattern(base=0, extent=128, access_bytes=64)
+        addrs = [p.next_addr() for _ in range(4)]
+        assert addrs == [0, 64, 0, 64]
+
+    def test_reset(self):
+        p = SequentialPattern(base=0, extent=1024, access_bytes=64)
+        p.next_addr()
+        p.reset()
+        assert p.next_addr() == 0
+
+    def test_stays_in_region_forever(self):
+        p = SequentialPattern(base=0x1000, extent=300, access_bytes=64)
+        for _ in range(50):
+            addr = p.next_addr()
+            assert 0x1000 <= addr
+            assert addr + 64 <= 0x1000 + 300
+
+
+class TestStrided:
+    def test_stride_walk(self):
+        p = StridedPattern(base=0, extent=8192, stride=2048, access_bytes=64)
+        assert [p.next_addr() for _ in range(4)] == [0, 2048, 4096, 6144]
+
+    def test_wrap_shifts_lane(self):
+        p = StridedPattern(base=0, extent=4096, stride=2048, access_bytes=64)
+        addrs = [p.next_addr() for _ in range(4)]
+        assert addrs == [0, 2048, 64, 2112]
+
+    def test_in_region(self):
+        p = StridedPattern(base=0x100, extent=10_000, stride=3000, access_bytes=128)
+        for _ in range(200):
+            addr = p.next_addr()
+            assert 0x100 <= addr
+            assert addr + 128 <= 0x100 + 10_000
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            StridedPattern(base=0, extent=1024, stride=0, access_bytes=64)
+
+
+class TestRandom:
+    def test_deterministic_with_seeded_rng(self):
+        a = RandomPattern(0, 4096, 64, component_rng(1, "x"))
+        b = RandomPattern(0, 4096, 64, component_rng(1, "x"))
+        assert [a.next_addr() for _ in range(10)] == [
+            b.next_addr() for _ in range(10)
+        ]
+
+    def test_alignment_and_range(self):
+        p = RandomPattern(0x1000, 4096, 64, component_rng(3, "y"))
+        for _ in range(200):
+            addr = p.next_addr()
+            assert (addr - 0x1000) % 64 == 0
+            assert 0x1000 <= addr < 0x1000 + 4096
+
+    def test_covers_many_slots(self):
+        p = RandomPattern(0, 1 << 20, 64, component_rng(5, "z"))
+        seen = {p.next_addr() for _ in range(500)}
+        assert len(seen) > 400  # uniform over 16k slots
+
+
+class TestRegionValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(base=-1, extent=128, access_bytes=64),
+            dict(base=0, extent=0, access_bytes=64),
+            dict(base=0, extent=32, access_bytes=64),
+            dict(base=0, extent=128, access_bytes=0),
+        ],
+    )
+    def test_bad_regions(self, kwargs):
+        with pytest.raises(ConfigError):
+            SequentialPattern(**kwargs)
+
+
+class TestFactory:
+    def test_all_kinds(self):
+        assert isinstance(
+            make_pattern("sequential", 0, 1024, 64), SequentialPattern
+        )
+        assert isinstance(
+            make_pattern("strided", 0, 1024, 64, stride=256), StridedPattern
+        )
+        assert isinstance(
+            make_pattern("random", 0, 1024, 64, rng=component_rng(0, "r")),
+            RandomPattern,
+        )
+
+    def test_strided_needs_stride(self):
+        with pytest.raises(ConfigError):
+            make_pattern("strided", 0, 1024, 64)
+
+    def test_unknown_kind(self):
+        with pytest.raises(ConfigError):
+            make_pattern("zigzag", 0, 1024, 64)
+
+
+class TestPatternProperties:
+    @given(
+        extent=st.integers(256, 1 << 16),
+        access=st.sampled_from([32, 64, 128, 256]),
+    )
+    def test_sequential_always_in_bounds(self, extent, access):
+        if access > extent:
+            return
+        p = SequentialPattern(0, extent, access)
+        for _ in range(64):
+            addr = p.next_addr()
+            assert 0 <= addr and addr + access <= extent

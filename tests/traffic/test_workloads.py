@@ -1,0 +1,98 @@
+"""Unit tests for the workload library."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.traffic.accelerator import StreamAccelerator
+from repro.traffic.cpu import CpuCore
+from repro.traffic.workloads import WORKLOADS, make_workload
+
+
+class TestRegistry:
+    def test_expected_entries_present(self):
+        expected = {
+            "memcpy", "stream_read", "stream_write", "matmul_stream",
+            "fft_stride", "pointer_chase", "stencil", "latency_probe",
+            "compute_mix", "video_scale", "hash_join", "spmv",
+        }
+        assert expected == set(WORKLOADS)
+
+    def test_kinds_are_consistent(self):
+        for spec in WORKLOADS.values():
+            assert spec.kind in ("cpu", "accel")
+            assert spec.description
+
+    def test_unknown_workload_raises(self, sim, mini):
+        port = mini.add_port("m0")
+        with pytest.raises(ConfigError):
+            make_workload("nonsense", sim, port, base=0, extent=1 << 20)
+
+
+class TestInstantiation:
+    @pytest.mark.parametrize("name", sorted(WORKLOADS))
+    def test_builds_and_runs_bounded(self, sim, mini_norefresh, name):
+        spec = WORKLOADS[name]
+        port = mini_norefresh.add_port(name)
+        work = 200 if spec.kind == "cpu" else 16 * 1024
+        master = make_workload(
+            name, sim, port, base=0x100000, extent=1 << 20, seed=3, work=work
+        )
+        expected_cls = CpuCore if spec.kind == "cpu" else StreamAccelerator
+        assert isinstance(master, expected_cls)
+        master.start()
+        sim.run(until=2_000_000)
+        assert master.done, f"workload {name} did not finish"
+
+    def test_cpu_work_counts_accesses(self, sim, mini_norefresh):
+        port = mini_norefresh.add_port("probe")
+        master = make_workload(
+            "latency_probe", sim, port, base=0, extent=1 << 20, work=123
+        )
+        master.start()
+        sim.run()
+        assert port.stats.counter("completed").value == 123
+
+    def test_accel_work_counts_bytes(self, sim, mini_norefresh):
+        port = mini_norefresh.add_port("dma")
+        master = make_workload(
+            "stream_read", sim, port, base=0, extent=1 << 20, work=8192
+        )
+        master.start()
+        sim.run()
+        assert port.stats.counter("bytes").value == 8192
+
+
+class TestEnvelopes:
+    def test_fft_stride_has_lower_hit_rate_than_stream(self, sim, mini_norefresh):
+        port = mini_norefresh.add_port("fft")
+        master = make_workload(
+            "fft_stride", sim, port, base=0, extent=1 << 20, work=64 * 1024
+        )
+        master.start()
+        sim.run()
+        fft_hit_rate = mini_norefresh.dram.row_hit_rate()
+
+        from repro.sim.kernel import Simulator
+        from tests.conftest import MiniSystem
+
+        sim2 = Simulator()
+        mini2 = MiniSystem(sim2)
+        port2 = mini2.add_port("seq")
+        master2 = make_workload(
+            "stream_read", sim2, port2, base=0, extent=1 << 20, work=64 * 1024
+        )
+        master2.start()
+        sim2.run()
+        seq_hit_rate = mini2.dram.row_hit_rate()
+        assert fft_hit_rate < seq_hit_rate
+
+    def test_pointer_chase_is_serial(self, sim, mini_norefresh):
+        port = mini_norefresh.add_port("chase")
+        master = make_workload(
+            "pointer_chase", sim, port, base=0, extent=1 << 20, seed=5, work=100
+        )
+        master.start()
+        sim.run()
+        # One dependent access at a time: runtime >= accesses x
+        # (miss latency + think), far above the pipelined case.
+        assert master.finished_at > 100 * 30
