@@ -18,9 +18,14 @@ Expected landscape:
 from __future__ import annotations
 
 from repro.analysis.ascii_plot import heat_grid
-from repro.soc.experiment import run_experiment
 
-from benchmarks.common import loaded_config, report, tc_spec
+from benchmarks.common import (
+    experiment_spec,
+    loaded_config,
+    report,
+    run_specs,
+    tc_spec,
+)
 
 SHARES = (0.05, 0.10, 0.15, 0.20)
 WINDOWS = (128, 512, 2048, 8192)
@@ -28,24 +33,27 @@ HOGS = 4
 
 
 def run_e20():
-    rows = []
-    for share in SHARES:
-        for window in WINDOWS:
-            result = run_experiment(
-                loaded_config(
-                    num_accels=HOGS,
-                    accel_regulator=tc_spec(share, window_cycles=window),
-                )
+    # The 2-D grid is one batch of independent runs.
+    grid = [(share, window) for share in SHARES for window in WINDOWS]
+    specs = [
+        experiment_spec(
+            loaded_config(
+                num_accels=HOGS,
+                accel_regulator=tc_spec(share, window_cycles=window),
             )
-            rows.append(
-                {
-                    "share": share,
-                    "window_cyc": window,
-                    "critical_p99": result.critical().latency_p99,
-                    "critical_runtime": result.critical_runtime(),
-                }
-            )
-    return rows
+        )
+        for share, window in grid
+    ]
+    results = run_specs(specs)
+    return [
+        {
+            "share": share,
+            "window_cyc": window,
+            "critical_p99": summary.critical().latency_p99,
+            "critical_runtime": summary.critical_runtime(),
+        }
+        for (share, window), summary in zip(grid, results)
+    ]
 
 
 def test_e20_operating_space(benchmark):

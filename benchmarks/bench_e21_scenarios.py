@@ -18,10 +18,9 @@ from __future__ import annotations
 
 from repro.analysis.compare import critical_summary
 from repro.regulation.factory import RegulatorSpec
-from repro.soc.experiment import run_experiment
 from repro.soc.scenarios import SCENARIOS, make_scenario
 
-from benchmarks.common import report
+from benchmarks.common import experiment_spec, report, run_specs
 
 SHARE = 0.10
 WINDOW = 256
@@ -33,29 +32,45 @@ SPEC = RegulatorSpec(
 HORIZON = 8_000_000
 
 
-def _run_scenario(name):
+def _scenario_specs(name):
+    """(unregulated, regulated) run specs for one scenario."""
     scenario = SCENARIOS[name]
-    critical = next(a.name for a in scenario.actors if a.critical)
-    unreg = run_experiment(make_scenario(name), max_cycles=HORIZON)
     regulators = {
         actor.name: SPEC for actor in scenario.actors if not actor.critical
     }
-    reg = run_experiment(
-        make_scenario(name, regulators=regulators), max_cycles=HORIZON
+    return (
+        experiment_spec(make_scenario(name), max_cycles=HORIZON),
+        experiment_spec(
+            make_scenario(name, regulators=regulators), max_cycles=HORIZON
+        ),
     )
-    summary = critical_summary(unreg, reg)
-    return {
-        "scenario": name,
-        "critical": critical,
-        "unreg_runtime": unreg.critical_runtime(),
-        "reg_runtime": reg.critical_runtime(),
-        "runtime_ratio": summary["runtime_ratio"],
-        "p99_ratio": summary["p99_ratio"],
-    }
 
 
 def run_e21():
-    return [_run_scenario(name) for name in sorted(SCENARIOS)]
+    # Both variants of every scenario go out as a single batch.
+    names = sorted(SCENARIOS)
+    specs = []
+    for name in names:
+        specs.extend(_scenario_specs(name))
+    results = run_specs(specs)
+    rows = []
+    for index, name in enumerate(names):
+        unreg, reg = results[2 * index], results[2 * index + 1]
+        summary = critical_summary(unreg, reg)
+        critical = next(
+            a.name for a in SCENARIOS[name].actors if a.critical
+        )
+        rows.append(
+            {
+                "scenario": name,
+                "critical": critical,
+                "unreg_runtime": unreg.critical_runtime(),
+                "reg_runtime": reg.critical_runtime(),
+                "runtime_ratio": summary["runtime_ratio"],
+                "p99_ratio": summary["p99_ratio"],
+            }
+        )
+    return rows
 
 
 def test_e21_scenarios(benchmark):

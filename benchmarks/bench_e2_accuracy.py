@@ -17,26 +17,37 @@ from benchmarks.common import (
     OPEN_HORIZON,
     PEAK,
     memguard_spec,
+    open_spec,
     report,
-    run_open,
+    run_specs,
     tc_spec,
 )
 
 SHARES = (0.05, 0.10, 0.20, 0.30, 0.50, 0.70)
 
 
-def _achieved(spec):
-    config = zcu102(num_cpus=1, num_accels=1, cpu_work=1, accel_regulator=spec)
-    result = run_open(config, OPEN_HORIZON)
-    return result.master("acc0").bytes_moved / OPEN_HORIZON
+def _spec(regulator):
+    config = zcu102(
+        num_cpus=1, num_accels=1, cpu_work=1, accel_regulator=regulator
+    )
+    return open_spec(config, OPEN_HORIZON)
 
 
 def run_e2():
-    rows = []
+    # One independent run per (share, scheme) grid point, fanned out
+    # through the parallel runner.
+    specs = []
     for share in SHARES:
+        specs.append(_spec(tc_spec(share)))
+        specs.append(_spec(memguard_spec(share)))
+    results = run_specs(specs)
+    rows = []
+    for index, share in enumerate(SHARES):
         configured = share * PEAK
-        tc_rate = _achieved(tc_spec(share))
-        mg_rate = _achieved(memguard_spec(share))
+        tc_rate = results[2 * index].master("acc0").bytes_moved / OPEN_HORIZON
+        mg_rate = (
+            results[2 * index + 1].master("acc0").bytes_moved / OPEN_HORIZON
+        )
         rows.append(
             {
                 "share_of_peak": share,

@@ -19,58 +19,57 @@ ablation is included at one window size.
 from __future__ import annotations
 
 from repro.analysis.sweep import geometric_space
-from repro.monitor.window import WindowedBandwidthMonitor
-from repro.soc.experiment import PlatformResult
-from repro.soc.platform import Platform
+from repro.monitor.window import overshoot_from_bins
 
-from benchmarks.common import PEAK, loaded_config, report, tc_spec
+from benchmarks.common import (
+    PEAK,
+    experiment_spec,
+    loaded_config,
+    report,
+    run_specs,
+    tc_spec,
+)
 
 SHARE = 0.10
 ANALYSIS_BIN = 1024
 WINDOWS = geometric_space(64, 262_144, factor=8)  # 64 .. 256k cycles
+HORIZON = 8_000_000
 
 
-def _run_with_window(window_cycles, burst_aware=True):
-    spec = tc_spec(SHARE, window_cycles=window_cycles, burst_aware=burst_aware)
-    config = loaded_config(num_accels=4, accel_regulator=spec)
-    platform = Platform(config)
-    fine_monitor = WindowedBandwidthMonitor(
-        platform.ports["acc0"], ANALYSIS_BIN
+def _spec(window_cycles, burst_aware=True):
+    # The fine-grained analysis monitor rides along inside the run
+    # spec; its per-bin byte counts come back in the summary.
+    reg = tc_spec(SHARE, window_cycles=window_cycles, burst_aware=burst_aware)
+    return experiment_spec(
+        loaded_config(num_accels=4, accel_regulator=reg),
+        max_cycles=HORIZON,
+        monitor_master="acc0",
+        monitor_bin_cycles=ANALYSIS_BIN,
     )
-    elapsed = platform.run(8_000_000)
-    result = PlatformResult(platform, elapsed)
+
+
+def _row(label, window_cycles, summary):
     budget_per_bin = SHARE * PEAK * ANALYSIS_BIN
-    horizon = (elapsed // ANALYSIS_BIN) * ANALYSIS_BIN
-    overshoot = fine_monitor.overshoot_report(budget_per_bin, horizon)
-    return result, overshoot
+    overshoot = overshoot_from_bins(summary.monitor_bins, budget_per_bin)
+    return {
+        "window_cyc": label,
+        "window_us_at_250MHz": window_cycles / 250.0,
+        "max_burst_ratio": overshoot["max_overshoot_ratio"],
+        "bin_violation_frac": overshoot["violation_fraction"],
+        "critical_runtime": summary.critical_runtime(),
+        "critical_p99": summary.critical().latency_p99,
+    }
 
 
 def run_e3():
-    rows = []
-    for window in WINDOWS:
-        result, overshoot = _run_with_window(window)
-        rows.append(
-            {
-                "window_cyc": window,
-                "window_us_at_250MHz": window / 250.0,
-                "max_burst_ratio": overshoot["max_overshoot_ratio"],
-                "bin_violation_frac": overshoot["violation_fraction"],
-                "critical_runtime": result.critical_runtime(),
-                "critical_p99": result.critical().latency_p99,
-            }
-        )
-    # Ablation: per-beat (non-burst-aware) charging at a fine window.
-    result, overshoot = _run_with_window(512, burst_aware=False)
-    rows.append(
-        {
-            "window_cyc": "512(no-BA)",
-            "window_us_at_250MHz": 512 / 250.0,
-            "max_burst_ratio": overshoot["max_overshoot_ratio"],
-            "bin_violation_frac": overshoot["violation_fraction"],
-            "critical_runtime": result.critical_runtime(),
-            "critical_p99": result.critical().latency_p99,
-        }
-    )
+    # Full window sweep plus the burst-aware ablation, as one batch.
+    specs = [_spec(window) for window in WINDOWS]
+    specs.append(_spec(512, burst_aware=False))
+    results = run_specs(specs)
+    rows = [
+        _row(window, window, s) for window, s in zip(WINDOWS, results)
+    ]
+    rows.append(_row("512(no-BA)", 512, results[-1]))
     return rows
 
 

@@ -11,11 +11,12 @@ mechanisms fails CI rather than silently changing the figures.
 from __future__ import annotations
 
 import os
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Sequence
 
 from repro.analysis.sweep import format_table
 from repro.regulation.factory import RegulatorSpec
-from repro.soc.experiment import PlatformResult
+from repro.runner import ParallelRunner, ResultCache, RunSpec, RunSummary
+from repro.soc.experiment import DEFAULT_MAX_CYCLES, PlatformResult
 from repro.soc.platform import Platform, PlatformConfig
 from repro.soc.presets import zcu102
 
@@ -77,6 +78,45 @@ def run_open(config: PlatformConfig, horizon: int = OPEN_HORIZON) -> PlatformRes
     platform = Platform(config)
     elapsed = platform.run(horizon, stop_when_critical_done=False)
     return PlatformResult(platform, elapsed)
+
+
+# ---------------------------------------------------------------------------
+# parallel execution (one shared runner per benchmark process)
+# ---------------------------------------------------------------------------
+_RUNNER: Optional[ParallelRunner] = None
+
+
+def runner() -> ParallelRunner:
+    """The suite-wide :class:`ParallelRunner` (workers from
+    ``REPRO_JOBS``, on-disk cache unless ``REPRO_CACHE=off``)."""
+    global _RUNNER
+    if _RUNNER is None:
+        _RUNNER = ParallelRunner(cache=ResultCache.from_env())
+    return _RUNNER
+
+
+def run_specs(specs: Sequence[RunSpec]) -> List[RunSummary]:
+    """Fan a batch of independent runs out through the shared runner."""
+    return runner().run(specs)
+
+
+def experiment_spec(
+    config: PlatformConfig, max_cycles: int = DEFAULT_MAX_CYCLES, **kwargs
+) -> RunSpec:
+    """A spec matching :func:`repro.soc.experiment.run_experiment`."""
+    return RunSpec(config=config, max_cycles=max_cycles, **kwargs)
+
+
+def open_spec(
+    config: PlatformConfig, horizon: int = OPEN_HORIZON, **kwargs
+) -> RunSpec:
+    """A spec matching :func:`run_open` (no early termination)."""
+    return RunSpec(
+        config=config,
+        max_cycles=horizon,
+        stop_when_critical_done=False,
+        **kwargs,
+    )
 
 
 def loaded_config(

@@ -1,0 +1,127 @@
+#!/usr/bin/env python
+"""Runner smoke benchmark: serial vs parallel on a fixed 8-point sweep.
+
+Runs the same small regulation sweep twice -- once forced in-process
+serial, once through the process pool -- asserts the two produce
+byte-identical summaries, and appends the timing to
+``BENCH_runner.json`` so successive PRs accumulate a performance
+trajectory for the experiment engine.
+
+Usage::
+
+    PYTHONPATH=src python scripts/bench_smoke.py [--out BENCH_runner.json]
+
+Exit code 0 = rows identical (the speedup itself is reported, not
+asserted: CI boxes with one core legitimately see ~1x).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.runner import ParallelRunner, RunSpec  # noqa: E402
+from repro.soc.presets import zcu102  # noqa: E402
+
+#: The fixed 8-point grid: 4 shares x 2 windows, small critical work
+#: so the whole smoke run stays in seconds.
+SHARES = (0.05, 0.10, 0.20, 0.40)
+WINDOWS = (256, 2048)
+CPU_WORK = 1_000
+HOGS = 2
+PEAK = 16.0
+
+
+def build_specs():
+    """The fixed 8-point sweep, one spec per (share, window)."""
+    from repro.regulation.factory import RegulatorSpec
+
+    specs = []
+    for share in SHARES:
+        for window in WINDOWS:
+            reg = RegulatorSpec(
+                kind="tightly_coupled",
+                window_cycles=window,
+                budget_bytes=max(1, round(share * PEAK * window)),
+            )
+            specs.append(
+                RunSpec(
+                    config=zcu102(
+                        num_accels=HOGS,
+                        cpu_work=CPU_WORK,
+                        accel_regulator=reg,
+                    )
+                )
+            )
+    return specs
+
+
+def timed_run(max_workers):
+    """Run the sweep uncached; return (rows-as-json, seconds, mode)."""
+    runner = ParallelRunner(max_workers=max_workers, cache=None)
+    start = time.perf_counter()
+    summaries = runner.run(build_specs())
+    elapsed = time.perf_counter() - start
+    return [s.to_json() for s in summaries], elapsed, runner.last_stats.mode
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--out",
+        default=os.path.join(
+            os.path.dirname(__file__), "..", "BENCH_runner.json"
+        ),
+        help="timing log to append to (JSON list)",
+    )
+    args = parser.parse_args(argv)
+
+    serial_rows, serial_s, _ = timed_run(max_workers=1)
+    parallel_rows, parallel_s, mode = timed_run(max_workers=None)
+
+    if serial_rows != parallel_rows:
+        print("FAIL: serial and parallel summaries differ", file=sys.stderr)
+        return 1
+
+    workers = ParallelRunner().max_workers
+    record = {
+        "points": len(serial_rows),
+        "workers": workers,
+        "parallel_mode": mode,
+        "serial_s": round(serial_s, 3),
+        "parallel_s": round(parallel_s, 3),
+        "speedup": round(serial_s / parallel_s, 3) if parallel_s else None,
+        "rows_identical": True,
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+    }
+
+    out = os.path.abspath(args.out)
+    history = []
+    if os.path.exists(out):
+        try:
+            with open(out) as fh:
+                history = json.load(fh)
+            if not isinstance(history, list):
+                history = []
+        except (OSError, ValueError):
+            history = []
+    history.append(record)
+    with open(out, "w") as fh:
+        json.dump(history, fh, indent=2)
+
+    print(
+        f"bench_smoke: {record['points']} points, "
+        f"serial {record['serial_s']}s, "
+        f"{mode} {record['parallel_s']}s "
+        f"(x{record['speedup']}, {workers} workers) -> {out}"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

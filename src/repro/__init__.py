@@ -66,6 +66,13 @@ from repro.soc.experiment import (
 from repro.soc.hierarchy import TwoLevelConfig, TwoLevelPlatform
 from repro.soc.platform import MasterSpec, Platform, PlatformConfig
 from repro.soc.presets import kv260, zcu102
+from repro.runner import (
+    ParallelRunner,
+    ResultCache,
+    RunSpec,
+    RunSummary,
+    execute_spec,
+)
 from repro.analysis.metrics import (
     isolation_error,
     regulation_error,
@@ -138,6 +145,12 @@ __all__ = [
     "TwoLevelPlatform",
     "kv260",
     "zcu102",
+    # runner
+    "ParallelRunner",
+    "ResultCache",
+    "RunSpec",
+    "RunSummary",
+    "execute_spec",
     # analysis
     "isolation_error",
     "regulation_error",

@@ -9,6 +9,7 @@ axes used for window-size sweeps.
 
 from __future__ import annotations
 
+import pickle
 from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence
 
 from repro.errors import ConfigError
@@ -16,17 +17,64 @@ from repro.errors import ConfigError
 Row = Dict[str, Any]
 
 
-def sweep(values: Iterable[Any], fn: Callable[[Any], Row]) -> List[Row]:
+def sweep(
+    values: Iterable[Any],
+    fn: Callable[[Any], Row],
+    parallel: bool = False,
+    max_workers: Optional[int] = None,
+) -> List[Row]:
     """Run ``fn`` for each value; collect its row augmented results.
 
     Args:
         values: The swept parameter values.
         fn: Called with one value, returns a dict row.
+        parallel: Fan the calls out over a process pool.  ``fn`` and
+            the values must then be picklable (module-level functions
+            qualify; closures do not) -- anything that cannot cross
+            the process boundary silently degrades to the serial
+            path, so ``parallel=True`` is always safe to request.
+            For simulation grids prefer building
+            :class:`~repro.runner.spec.RunSpec` lists and going
+            through :class:`~repro.runner.parallel.ParallelRunner`,
+            which adds dedup and result caching on top.
+        max_workers: Pool size (``None`` = auto: ``REPRO_JOBS``
+            override, else CPU count).
 
     Returns:
-        One row per value, in sweep order.
+        One row per value, in sweep order regardless of completion
+        order.
     """
-    return [fn(value) for value in values]
+    items = list(values)
+    if parallel and len(items) > 1:
+        rows = _parallel_map(items, fn, max_workers)
+        if rows is not None:
+            return rows
+    return [fn(value) for value in items]
+
+
+def _parallel_map(
+    items: List[Any], fn: Callable[[Any], Row], max_workers: Optional[int]
+) -> Optional[List[Row]]:
+    """Map ``fn`` over ``items`` in a process pool; None = fall back."""
+    from repro.runner.parallel import default_workers
+
+    workers = min(max_workers or default_workers(), len(items))
+    if workers <= 1:
+        return None
+    try:
+        from concurrent.futures import ProcessPoolExecutor
+        from concurrent.futures.process import BrokenProcessPool
+    except ImportError:  # pragma: no cover - stdlib present
+        return None
+    try:
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            futures = [pool.submit(fn, value) for value in items]
+            return [f.result() for f in futures]
+    except (pickle.PicklingError, AttributeError, TypeError,
+            OSError, PermissionError, BrokenProcessPool):
+        # Unpicklable fn/values or a restricted environment: the
+        # caller's serial loop produces the same rows.
+        return None
 
 
 def geometric_space(start: int, stop: int, factor: int = 2) -> List[int]:

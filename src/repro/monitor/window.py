@@ -13,9 +13,45 @@ from __future__ import annotations
 
 from typing import Dict, List
 
+from typing import Sequence
+
 from repro.errors import ConfigError
 from repro.axi.port import MasterPort
 from repro.sim.stats import TimeSeries
+
+
+def overshoot_from_bins(
+    window_bytes: Sequence[int], budget_bytes_per_window: float
+) -> Dict[str, float]:
+    """Overshoot statistics over pre-recorded per-window byte counts.
+
+    The pure-data core of :meth:`WindowedBandwidthMonitor.overshoot_report`,
+    usable on bins that crossed a process boundary (e.g.
+    :attr:`repro.runner.summary.RunSummary.monitor_bins`).
+
+    Args:
+        window_bytes: Dense per-window byte counts.
+        budget_bytes_per_window: Allowed bytes per window.
+
+    Returns:
+        Dict with ``max_overshoot_ratio``, ``violation_fraction`` and
+        ``mean_ratio`` (all 0.0 when no windows were recorded).
+    """
+    if budget_bytes_per_window <= 0:
+        raise ConfigError("budget must be positive")
+    if not window_bytes:
+        return {
+            "max_overshoot_ratio": 0.0,
+            "violation_fraction": 0.0,
+            "mean_ratio": 0.0,
+        }
+    ratios = [w / budget_bytes_per_window for w in window_bytes]
+    violations = sum(1 for r in ratios if r > 1.0 + 1e-9)
+    return {
+        "max_overshoot_ratio": max(ratios),
+        "violation_fraction": violations / len(ratios),
+        "mean_ratio": sum(ratios) / len(ratios),
+    }
 
 
 class WindowedBandwidthMonitor:
@@ -82,19 +118,6 @@ class WindowedBandwidthMonitor:
                 budget;
                 ``mean_ratio`` -- average window bytes over budget.
         """
-        if budget_bytes_per_window <= 0:
-            raise ConfigError("budget must be positive")
-        windows = self.window_bytes(horizon_cycles)
-        if not windows:
-            return {
-                "max_overshoot_ratio": 0.0,
-                "violation_fraction": 0.0,
-                "mean_ratio": 0.0,
-            }
-        ratios = [w / budget_bytes_per_window for w in windows]
-        violations = sum(1 for r in ratios if r > 1.0 + 1e-9)
-        return {
-            "max_overshoot_ratio": max(ratios),
-            "violation_fraction": violations / len(ratios),
-            "mean_ratio": sum(ratios) / len(ratios),
-        }
+        return overshoot_from_bins(
+            self.window_bytes(horizon_cycles), budget_bytes_per_window
+        )

@@ -1,0 +1,118 @@
+"""Content-addressed on-disk cache of run results.
+
+Every slowdown figure in the benchmark suite re-runs the same solo
+baselines; across the 21 experiments that is hours of duplicated
+simulation.  The cache stores one JSON file per
+:meth:`~repro.runner.spec.RunSpec.content_hash` under a cache root
+(``.repro_cache/`` by default), so any run is simulated at most once
+per machine -- across processes, pytest sessions, and figures.
+
+Robustness rules:
+
+* every entry is versioned by a schema tag and validated against the
+  spec hash on read; anything corrupt, truncated, or stale is
+  *discarded and recomputed*, never trusted and never fatal;
+* writes are atomic (temp file + ``os.replace``), so a crashed or
+  parallel writer can not leave a torn entry behind;
+* the whole mechanism turns off with ``REPRO_CACHE=off``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from typing import Optional
+
+from repro.runner.spec import RunSpec
+from repro.runner.summary import RunSummary
+
+#: Bump when the cache payload layout changes; old entries are then
+#: silently treated as misses and rewritten.
+CACHE_SCHEMA = 1
+
+#: Default cache directory (relative to the working directory).
+DEFAULT_CACHE_DIR = ".repro_cache"
+
+
+class ResultCache:
+    """A directory of ``<spec-hash>.json`` result files.
+
+    Args:
+        root: Cache directory; created lazily on the first write.
+    """
+
+    def __init__(self, root: str = DEFAULT_CACHE_DIR) -> None:
+        self.root = root
+
+    @classmethod
+    def from_env(cls) -> Optional["ResultCache"]:
+        """Build a cache honouring the ``REPRO_CACHE`` variable.
+
+        Returns:
+            ``None`` when caching is disabled (``REPRO_CACHE`` set to
+            ``off``, ``0``, ``no``, or ``false``); otherwise a cache
+            rooted at ``$REPRO_CACHE`` (default ``.repro_cache/``).
+        """
+        value = os.environ.get("REPRO_CACHE", "").strip()
+        if value.lower() in ("off", "0", "no", "false"):
+            return None
+        return cls(value or DEFAULT_CACHE_DIR)
+
+    def path_for(self, spec: RunSpec) -> str:
+        """Filesystem path of the entry for ``spec``."""
+        return os.path.join(self.root, f"{spec.content_hash()}.json")
+
+    # ------------------------------------------------------------------
+    # read / write
+    # ------------------------------------------------------------------
+    def get(self, spec: RunSpec) -> Optional[RunSummary]:
+        """Return the cached summary for ``spec``, or None on a miss.
+
+        A poisoned entry (unreadable JSON, wrong schema, hash
+        mismatch, malformed payload) is deleted so the caller simply
+        recomputes; corruption can cost time, never correctness.
+        """
+        path = self.path_for(spec)
+        try:
+            with open(path) as fh:
+                payload = json.load(fh)
+            if payload["schema"] != CACHE_SCHEMA:
+                raise ValueError(f"schema {payload['schema']!r}")
+            if payload["spec_hash"] != spec.content_hash():
+                raise ValueError("spec hash mismatch")
+            return RunSummary.from_dict(payload["summary"])
+        except FileNotFoundError:
+            return None
+        except Exception:
+            self._discard(path)
+            return None
+
+    def put(self, spec: RunSpec, summary: RunSummary) -> str:
+        """Atomically store ``summary`` under ``spec``'s hash."""
+        os.makedirs(self.root, exist_ok=True)
+        path = self.path_for(spec)
+        payload = {
+            "schema": CACHE_SCHEMA,
+            "spec_hash": spec.content_hash(),
+            "summary": summary.to_dict(),
+        }
+        fd, tmp = tempfile.mkstemp(dir=self.root, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w") as fh:
+                json.dump(payload, fh, sort_keys=True)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        return path
+
+    @staticmethod
+    def _discard(path: str) -> None:
+        try:
+            os.unlink(path)
+        except OSError:
+            pass

@@ -1,0 +1,217 @@
+"""Fan independent runs out over a process pool.
+
+Simulation runs share nothing (every :class:`Platform` builds a fresh
+simulator), so a batch of :class:`RunSpec` objects is embarrassingly
+parallel.  :class:`ParallelRunner` exploits that while keeping the
+semantics of a serial loop:
+
+* **deterministic ordering** -- results come back in spec order no
+  matter which worker finishes first;
+* **dedup** -- specs with equal content hashes are simulated once per
+  batch (a sweep that re-states its solo baseline pays for it once);
+* **caching** -- an optional :class:`ResultCache` is consulted before
+  and fed after execution, so repeated suites cost zero simulations;
+* **graceful fallback** -- one worker, one outstanding spec, or a
+  platform where process pools are unavailable (restricted
+  containers, missing ``fork``/semaphores) all degrade to plain
+  in-process execution with identical results.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.errors import ConfigError
+from repro.monitor.window import WindowedBandwidthMonitor
+from repro.runner.cache import ResultCache
+from repro.runner.spec import RunSpec
+from repro.runner.summary import RunSummary
+from repro.soc.experiment import PlatformResult
+from repro.soc.platform import Platform
+
+#: Environment override for the worker count (0/unset = auto).
+JOBS_ENV = "REPRO_JOBS"
+
+
+def execute_spec(spec: RunSpec) -> RunSummary:
+    """Run one spec to completion, in this process.
+
+    The module-level entry point every execution path shares (serial
+    loop, pool worker, cache warm-up), which is what guarantees the
+    three paths cannot diverge.
+    """
+    platform = Platform(spec.config)
+    monitor = None
+    if spec.monitor_master is not None:
+        monitor = WindowedBandwidthMonitor(
+            platform.port(spec.monitor_master), spec.monitor_bin_cycles
+        )
+    elapsed = platform.run(
+        spec.max_cycles,
+        stop_when_critical_done=spec.stop_when_critical_done,
+    )
+    result = PlatformResult(platform, elapsed)
+    bins: Optional[tuple] = None
+    if monitor is not None:
+        horizon = (elapsed // spec.monitor_bin_cycles) * spec.monitor_bin_cycles
+        bins = (
+            tuple(monitor.window_bytes(horizon)) if horizon else ()
+        )
+    return RunSummary.from_result(
+        result,
+        monitor_bins=bins,
+        monitor_bin_cycles=(
+            spec.monitor_bin_cycles if monitor is not None else None
+        ),
+    )
+
+
+def default_workers() -> int:
+    """Worker count: ``REPRO_JOBS`` if set and positive, else CPU count."""
+    value = os.environ.get(JOBS_ENV, "").strip()
+    if value:
+        try:
+            jobs = int(value)
+        except ValueError:
+            raise ConfigError(f"{JOBS_ENV} must be an integer, got {value!r}")
+        if jobs > 0:
+            return jobs
+    return os.cpu_count() or 1
+
+
+@dataclass
+class RunnerStats:
+    """Execution accounting for one :meth:`ParallelRunner.run` batch.
+
+    Attributes:
+        total: Specs requested.
+        cache_hits: Satisfied from the result cache.
+        deduped: Satisfied by another spec in the same batch with an
+            equal content hash.
+        executed: Simulations actually performed.
+        mode: ``"parallel"`` or ``"serial"`` for the executed part
+            (``"serial"`` when nothing ran in a pool).
+    """
+
+    total: int = 0
+    cache_hits: int = 0
+    deduped: int = 0
+    executed: int = 0
+    mode: str = "serial"
+
+
+class ParallelRunner:
+    """Run batches of :class:`RunSpec` with pooling, dedup and caching.
+
+    Args:
+        max_workers: Process count; ``None`` = auto
+            (``REPRO_JOBS`` override, else CPU count).  ``1`` forces
+            in-process serial execution.
+        cache: Optional on-disk result cache (see
+            :meth:`ResultCache.from_env`); ``None`` disables caching.
+    """
+
+    def __init__(
+        self,
+        max_workers: Optional[int] = None,
+        cache: Optional[ResultCache] = None,
+    ) -> None:
+        if max_workers is not None and max_workers < 1:
+            raise ConfigError(f"max_workers must be >= 1, got {max_workers}")
+        self._explicit_workers = max_workers
+        self.cache = cache
+        #: Accounting of the most recent :meth:`run` call.
+        self.last_stats = RunnerStats()
+
+    @property
+    def max_workers(self) -> int:
+        """Effective worker count for the next batch."""
+        if self._explicit_workers is not None:
+            return self._explicit_workers
+        return default_workers()
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    def run(self, specs: Sequence[RunSpec]) -> List[RunSummary]:
+        """Execute every spec; results are returned in spec order.
+
+        Identical specs (equal content hashes) are simulated once and
+        their summary shared; cached specs are not simulated at all.
+        """
+        stats = RunnerStats(total=len(specs))
+        self.last_stats = stats
+        if not specs:
+            return []
+
+        by_hash: Dict[str, RunSummary] = {}
+        hashes = [spec.content_hash() for spec in specs]
+
+        # Unique work list, preserving first-occurrence order.
+        pending: List[RunSpec] = []
+        pending_hashes: List[str] = []
+        seen = set()
+        for spec, digest in zip(specs, hashes):
+            if digest in seen:
+                stats.deduped += 1
+                continue
+            seen.add(digest)
+            if self.cache is not None:
+                cached = self.cache.get(spec)
+                if cached is not None:
+                    by_hash[digest] = cached
+                    stats.cache_hits += 1
+                    continue
+            pending.append(spec)
+            pending_hashes.append(digest)
+
+        if pending:
+            summaries = self._execute(pending, stats)
+            for spec, digest, summary in zip(
+                pending, pending_hashes, summaries
+            ):
+                by_hash[digest] = summary
+                if self.cache is not None:
+                    self.cache.put(spec, summary)
+            stats.executed = len(pending)
+
+        return [by_hash[digest] for digest in hashes]
+
+    def _execute(
+        self, specs: List[RunSpec], stats: RunnerStats
+    ) -> List[RunSummary]:
+        workers = min(self.max_workers, len(specs))
+        if workers > 1:
+            try:
+                return self._execute_pool(specs, workers, stats)
+            except _PoolUnavailable:
+                pass
+        stats.mode = "serial"
+        return [execute_spec(spec) for spec in specs]
+
+    @staticmethod
+    def _execute_pool(
+        specs: List[RunSpec], workers: int, stats: RunnerStats
+    ) -> List[RunSummary]:
+        try:
+            from concurrent.futures import ProcessPoolExecutor
+            from concurrent.futures.process import BrokenProcessPool
+        except ImportError as exc:  # pragma: no cover - stdlib present
+            raise _PoolUnavailable() from exc
+        try:
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                futures = [pool.submit(execute_spec, spec) for spec in specs]
+                results = [f.result() for f in futures]
+        except (OSError, PermissionError, BrokenProcessPool) as exc:
+            # Restricted environments (no /dev/shm, seccomp'd fork,
+            # single-core cgroups) surface here; the batch still
+            # completes, just in-process.
+            raise _PoolUnavailable() from exc
+        stats.mode = "parallel"
+        return results
+
+
+class _PoolUnavailable(Exception):
+    """Internal signal: fall back to in-process execution."""

@@ -4,14 +4,29 @@ Events are ordered by ``(time, priority, sequence)``.  The sequence
 number is a monotonically increasing tie-breaker, which makes event
 dispatch fully deterministic: two events scheduled for the same cycle
 at the same priority always fire in scheduling order.
+
+Two implementation choices keep the queue fast on the simulator's hot
+path (it is entered once per dispatched event):
+
+* Heap entries are ``(time, priority, seq, event)`` tuples, so
+  ``heapq`` sibling comparisons run through the C tuple fast path
+  instead of calling :meth:`Event.__lt__` for every swap.
+* Cancellation is *lazy* (events are flagged and skipped when they
+  surface), but the queue counts cancelled shells and compacts the
+  heap when they outnumber the live entries, bounding both memory and
+  the pop-side skip work under cancel-heavy workloads.
 """
 
 from __future__ import annotations
 
 import heapq
-from typing import Any, Callable, List, Optional
+from typing import Any, Callable, List, Optional, Tuple
 
 from repro.errors import SimulationError
+
+#: Heap size below which compaction is never attempted (a rebuild of a
+#: tiny heap costs more in constant factors than the shells it frees).
+_COMPACT_MIN_HEAP = 64
 
 
 class Event:
@@ -31,7 +46,7 @@ class Event:
             drained.
     """
 
-    __slots__ = ("time", "priority", "seq", "callback", "cancelled", "daemon")
+    __slots__ = ("time", "priority", "seq", "callback", "cancelled", "daemon", "_queue")
 
     def __init__(
         self,
@@ -47,10 +62,22 @@ class Event:
         self.callback = callback
         self.cancelled = False
         self.daemon = daemon
+        self._queue: Optional["EventQueue"] = None
 
     def cancel(self) -> None:
-        """Mark the event so it is ignored when popped."""
+        """Mark the event so it is ignored when popped.
+
+        Cancellation is routed back to the owning queue so its live
+        event accounting stays exact: a run whose only remaining
+        foreground events are cancelled shells is treated as drained
+        immediately, not when the shells happen to be popped.
+        """
+        if self.cancelled:
+            return
         self.cancelled = True
+        queue = self._queue
+        if queue is not None:
+            queue._on_cancel(self)
 
     def __lt__(self, other: "Event") -> bool:
         return (self.time, self.priority, self.seq) < (
@@ -68,19 +95,25 @@ class EventQueue:
     """A deterministic priority queue of :class:`Event` objects."""
 
     def __init__(self) -> None:
-        self._heap: List[Event] = []
+        self._heap: List[Tuple[int, int, int, Event]] = []
         self._next_seq = 0
         self._live_foreground = 0
+        self._cancelled_in_heap = 0
 
     def __len__(self) -> int:
         return len(self._heap)
 
     @property
     def live_foreground(self) -> int:
-        """Pending non-daemon, non-cancelled events (approximate upper
-        bound: cancellation is only accounted when events are popped or
-        explicitly discarded via :meth:`Event.cancel` bookkeeping)."""
+        """Pending non-daemon, non-cancelled events (exact count:
+        cancellation via :meth:`Event.cancel` is accounted the moment
+        it happens, not when the shell is popped)."""
         return self._live_foreground
+
+    @property
+    def cancelled_pending(self) -> int:
+        """Cancelled shells still occupying heap slots."""
+        return self._cancelled_in_heap
 
     def push(
         self,
@@ -91,37 +124,99 @@ class EventQueue:
     ) -> Event:
         """Create and enqueue an event; returns it so it can be cancelled."""
         event = Event(time, priority, self._next_seq, callback, daemon=daemon)
+        event._queue = self
+        heapq.heappush(self._heap, (time, priority, self._next_seq, event))
         self._next_seq += 1
-        heapq.heappush(self._heap, event)
         if not daemon:
             self._live_foreground += 1
         return event
 
-    def _account_removed(self, event: Event) -> None:
+    # ------------------------------------------------------------------
+    # cancellation bookkeeping
+    # ------------------------------------------------------------------
+    def _on_cancel(self, event: Event) -> None:
+        """Account a cancellation of an event still in the heap."""
         if not event.daemon:
             self._live_foreground -= 1
+        self._cancelled_in_heap += 1
+        if (
+            len(self._heap) >= _COMPACT_MIN_HEAP
+            and self._cancelled_in_heap * 2 > len(self._heap)
+        ):
+            self._compact()
 
+    def _compact(self) -> None:
+        """Drop cancelled shells and re-heapify the survivors.
+
+        Runs when shells hold the majority of the heap; amortized cost
+        is O(1) per cancellation because each compaction at least
+        halves the heap.
+        """
+        self._heap = [entry for entry in self._heap if not entry[3].cancelled]
+        heapq.heapify(self._heap)
+        self._cancelled_in_heap = 0
+
+    def _detach(self, event: Event) -> Event:
+        """Release a popped event from queue bookkeeping."""
+        if not event.daemon:
+            self._live_foreground -= 1
+        # A late cancel() on an already-dispatched event must not touch
+        # the counters of events still queued.
+        event._queue = None
+        return event
+
+    # ------------------------------------------------------------------
+    # removal
+    # ------------------------------------------------------------------
     def pop(self) -> Event:
         """Remove and return the earliest non-cancelled event.
 
         Raises:
             SimulationError: if the queue holds no live events.
         """
-        while self._heap:
-            event = heapq.heappop(self._heap)
-            self._account_removed(event)
-            if not event.cancelled:
-                return event
+        heap = self._heap
+        while heap:
+            event = heapq.heappop(heap)[3]
+            if event.cancelled:
+                self._cancelled_in_heap -= 1
+                continue
+            return self._detach(event)
         raise SimulationError("pop() on an empty event queue")
+
+    def pop_if_at(self, time: int) -> Optional[Event]:
+        """Pop the next live event only if it fires at ``time``.
+
+        The same-cycle fast path of :meth:`Simulator.run`: one heap
+        inspection both answers "is there more work this cycle?" and
+        delivers the event, instead of a ``peek_time`` purge scan
+        followed by a ``pop`` re-scan.
+        """
+        heap = self._heap
+        while heap:
+            entry = heap[0]
+            if entry[3].cancelled:
+                heapq.heappop(heap)
+                self._cancelled_in_heap -= 1
+                continue
+            if entry[0] != time:
+                return None
+            heapq.heappop(heap)
+            return self._detach(entry[3])
+        return None
 
     def peek_time(self) -> Optional[int]:
         """Return the firing time of the next live event, or None."""
-        while self._heap and self._heap[0].cancelled:
-            self._account_removed(heapq.heappop(self._heap))
-        if not self._heap:
+        heap = self._heap
+        while heap and heap[0][3].cancelled:
+            heapq.heappop(heap)
+            self._cancelled_in_heap -= 1
+        if not heap:
             return None
-        return self._heap[0].time
+        return heap[0][0]
 
     def clear(self) -> None:
+        for entry in self._heap:
+            entry[3]._queue = None
         self._heap.clear()
         self._live_foreground = 0
+        self._cancelled_in_heap = 0

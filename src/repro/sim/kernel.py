@@ -130,12 +130,13 @@ class Simulator:
             raise SimulationError("run() re-entered from within an event callback")
         self._running = True
         self._stop_requested = False
+        queue = self._queue
         try:
             while True:
                 if self._stop_requested:
                     break
-                next_time = self._queue.peek_time()
-                if next_time is None or self._queue.live_foreground == 0:
+                next_time = queue.peek_time()
+                if next_time is None or queue.live_foreground == 0:
                     # Drained: nothing left, or only daemon events
                     # (background refresh/ticks) remain.
                     if until is not None and until > self._now:
@@ -144,9 +145,18 @@ class Simulator:
                 if until is not None and next_time > until:
                     self._now = until
                     break
-                event = self._queue.pop()
+                event = queue.pop()
                 self._now = event.time
                 event.callback()
+                # Same-cycle fast path: drain the rest of this cycle
+                # with single-scan pops, skipping the redundant
+                # peek/horizon checks (the horizon can only be crossed
+                # when time advances).
+                while not self._stop_requested and queue.live_foreground > 0:
+                    event = queue.pop_if_at(self._now)
+                    if event is None:
+                        break
+                    event.callback()
         finally:
             self._running = False
         for fn in self._finalizers:
@@ -175,5 +185,6 @@ class Simulator:
 
     @property
     def pending_events(self) -> int:
-        """Number of events still queued (including cancelled shells)."""
+        """Number of events still queued (cancelled shells count until
+        the queue compacts or pops them)."""
         return len(self._queue)

@@ -9,7 +9,7 @@ alone on the same system, the denominator of every slowdown figure.
 from __future__ import annotations
 
 import json
-from dataclasses import asdict, dataclass
+from dataclasses import dataclass
 from typing import Dict, Optional
 
 from repro.errors import ConfigError
@@ -146,27 +146,26 @@ class PlatformResult:
     # ------------------------------------------------------------------
     # serialization
     # ------------------------------------------------------------------
+    def summary(self) -> "RunSummary":
+        """Snapshot into a plain-data :class:`~repro.runner.summary.RunSummary`.
+
+        The summary is picklable and JSON round-trippable, which is
+        what the parallel runner and the result cache move around; the
+        live platform stays behind.
+        """
+        from repro.runner.summary import RunSummary
+
+        return RunSummary.from_result(self)
+
     def to_dict(self) -> Dict[str, object]:
         """Plain-data summary of the run (JSON-serializable).
 
         Contains everything a downstream analysis needs -- per-master
         results, DRAM figures, the QoS reconfiguration log -- but not
-        the live platform objects.
+        the live platform objects.  The layout is defined by
+        :meth:`repro.runner.summary.RunSummary.to_dict`.
         """
-        return {
-            "elapsed": self.elapsed,
-            "masters": {name: asdict(m) for name, m in self.masters.items()},
-            "dram": asdict(self.dram),
-            "reconfig_log": [
-                {
-                    "master": e.master,
-                    "requested_at": e.requested_at,
-                    "effective_at": e.effective_at,
-                    "budget_bytes": e.budget_bytes,
-                }
-                for e in self.platform.qos_manager.log
-            ],
-        }
+        return self.summary().to_dict()
 
     def save_json(self, path: str) -> None:
         """Write :meth:`to_dict` to ``path`` as pretty-printed JSON."""

@@ -1,0 +1,106 @@
+"""Unit tests for RunSpec serialization and content hashing."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.regulation.factory import RegulatorSpec
+from repro.runner import RunSpec, config_from_dict, config_to_dict
+from repro.soc.presets import kv260, zcu102
+from repro.soc.scenarios import make_scenario
+
+
+def small_config(**kwargs):
+    return zcu102(num_accels=2, cpu_work=200, **kwargs)
+
+
+class TestContentHash:
+    def test_stable_across_instances(self):
+        a = RunSpec(config=small_config())
+        b = RunSpec(config=small_config())
+        assert a.content_hash() == b.content_hash()
+
+    def test_hash_is_hex_digest(self):
+        digest = RunSpec(config=small_config()).content_hash()
+        assert len(digest) == 64
+        int(digest, 16)  # parses as hex
+
+    def test_sensitive_to_seed(self):
+        a = RunSpec(config=small_config(seed=1))
+        b = RunSpec(config=small_config(seed=2))
+        assert a.content_hash() != b.content_hash()
+
+    def test_sensitive_to_horizon_and_stop(self):
+        base = RunSpec(config=small_config())
+        horizon = RunSpec(config=small_config(), max_cycles=123_456)
+        stop = RunSpec(config=small_config(), stop_when_critical_done=False)
+        assert len({base.content_hash(), horizon.content_hash(),
+                    stop.content_hash()}) == 3
+
+    def test_sensitive_to_regulator(self):
+        reg = RegulatorSpec(kind="tightly_coupled", budget_bytes=512)
+        a = RunSpec(config=small_config())
+        b = RunSpec(config=small_config(accel_regulator=reg))
+        assert a.content_hash() != b.content_hash()
+
+    def test_sensitive_to_monitor(self):
+        a = RunSpec(config=small_config())
+        b = RunSpec(config=small_config(), monitor_master="acc0")
+        assert a.content_hash() != b.content_hash()
+
+
+class TestValidation:
+    def test_rejects_bad_horizon(self):
+        with pytest.raises(ConfigError):
+            RunSpec(config=small_config(), max_cycles=0)
+
+    def test_rejects_unknown_monitor_master(self):
+        with pytest.raises(ConfigError):
+            RunSpec(config=small_config(), monitor_master="ghost")
+
+    def test_rejects_bad_bin(self):
+        with pytest.raises(ConfigError):
+            RunSpec(
+                config=small_config(),
+                monitor_master="acc0",
+                monitor_bin_cycles=0,
+            )
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize(
+        "config",
+        [
+            zcu102(num_accels=1, cpu_work=100),
+            zcu102(
+                num_accels=2,
+                cpu_work=100,
+                accel_regulator=RegulatorSpec(
+                    kind="memguard", period_cycles=10_000, reclaim=True
+                ),
+            ),
+            kv260(num_accels=1, cpu_work=100),
+            make_scenario("industrial"),
+        ],
+        ids=["plain", "regulated", "kv260", "scenario"],
+    )
+    def test_spec_roundtrip_preserves_hash(self, config):
+        spec = RunSpec(config=config, max_cycles=50_000)
+        back = RunSpec.from_dict(spec.to_dict())
+        assert back == spec
+        assert back.content_hash() == spec.content_hash()
+
+    def test_config_roundtrip_equals(self):
+        config = small_config(
+            accel_regulator=RegulatorSpec(kind="tightly_coupled")
+        )
+        assert config_from_dict(config_to_dict(config)) == config
+
+    def test_rejects_wrong_schema(self):
+        data = RunSpec(config=small_config()).to_dict()
+        data["schema"] = 999
+        with pytest.raises(ConfigError):
+            RunSpec.from_dict(data)
+
+    def test_rejects_malformed_config(self):
+        with pytest.raises(ConfigError):
+            config_from_dict({"masters": [{"bogus": True}]})

@@ -54,8 +54,31 @@ class TestDaemonEvents:
         ev = sim.schedule(50, lambda: None)
         sim.schedule(10, lambda: None)
         ev.cancel()
+        # Exact live accounting: the run ends at the last *live*
+        # foreground event, never simulating out to the shell at 50.
         end = sim.run()
-        assert end <= 50
+        assert end == 10
+
+    def test_cancelling_last_foreground_drains_among_daemons(self, sim):
+        fired = []
+
+        def refresh():
+            fired.append(sim.now)
+            sim.schedule(10, refresh, daemon=True)
+
+        sim.schedule(0, refresh, daemon=True)
+        victim = sim.schedule(1_000, lambda: fired.append("victim"))
+
+        def cancel_victim():
+            victim.cancel()
+
+        sim.schedule(25, cancel_victim)
+        sim.run()
+        # Once the only remaining foreground event is a cancelled
+        # shell the run is drained; daemons stop immediately instead
+        # of ticking on to cycle 1000.
+        assert "victim" not in fired
+        assert sim.now == 25
 
     def test_step_runs_daemons_directly(self, sim):
         fired = []

@@ -77,3 +77,115 @@ class TestCancellation:
         q.clear()
         assert q.peek_time() is None
         assert len(q) == 0
+
+    def test_cancel_after_clear_is_inert(self):
+        q = EventQueue()
+        ev = q.push(1, 0, lambda: None)
+        q.clear()
+        ev.cancel()
+        assert q.live_foreground == 0
+
+
+class TestLiveForegroundAccounting:
+    def test_cancel_decrements_immediately(self):
+        q = EventQueue()
+        ev = q.push(1, 0, lambda: None)
+        q.push(2, 0, lambda: None)
+        assert q.live_foreground == 2
+        ev.cancel()
+        # Exact accounting: the shell is still in the heap but no
+        # longer counts as live work.
+        assert q.live_foreground == 1
+        assert len(q) == 2
+
+    def test_double_cancel_counts_once(self):
+        q = EventQueue()
+        ev = q.push(1, 0, lambda: None)
+        ev.cancel()
+        ev.cancel()
+        assert q.live_foreground == 0
+
+    def test_cancel_after_pop_does_not_decrement(self):
+        q = EventQueue()
+        ev = q.push(1, 0, lambda: None)
+        q.push(2, 0, lambda: None)
+        popped = q.pop()
+        assert popped is ev
+        assert q.live_foreground == 1
+        ev.cancel()  # already dispatched; must not touch the counter
+        assert q.live_foreground == 1
+
+    def test_daemon_cancel_leaves_foreground_alone(self):
+        q = EventQueue()
+        ev = q.push(1, 0, lambda: None, daemon=True)
+        q.push(2, 0, lambda: None)
+        assert q.live_foreground == 1
+        ev.cancel()
+        assert q.live_foreground == 1
+
+    def test_popping_cancelled_shells_does_not_double_count(self):
+        q = EventQueue()
+        events = [q.push(t, 0, lambda: None) for t in range(5)]
+        for ev in events[:4]:
+            ev.cancel()
+        assert q.live_foreground == 1
+        assert q.pop() is events[4]
+        assert q.live_foreground == 0
+
+
+class TestHeapCompaction:
+    def test_majority_cancelled_heap_compacts(self):
+        q = EventQueue()
+        events = [q.push(t, 0, lambda: None) for t in range(200)]
+        for ev in events[:150]:
+            ev.cancel()
+        # Shells were the majority at some point, so a compaction ran
+        # and the heap shrank under the number of pushes instead of
+        # retaining every shell; survivors stay in the minority.
+        assert len(q) < 200
+        assert q.cancelled_pending * 2 <= len(q)
+        assert q.live_foreground == 50
+
+    def test_compaction_preserves_order(self):
+        q = EventQueue()
+        fired = []
+        events = []
+        for t in range(100):
+            events.append(q.push(t, 0, lambda t=t: fired.append(t)))
+        for ev in events:
+            if ev.time % 2:
+                ev.cancel()
+        while q.live_foreground:
+            q.pop().callback()
+        assert fired == list(range(0, 100, 2))
+
+    def test_small_heaps_stay_lazy(self):
+        q = EventQueue()
+        events = [q.push(t, 0, lambda: None) for t in range(10)]
+        for ev in events[:9]:
+            ev.cancel()
+        # Below the compaction floor nothing is rebuilt eagerly.
+        assert len(q) == 10
+        assert q.cancelled_pending == 9
+
+
+class TestPopIfAt:
+    def test_pops_only_matching_time(self):
+        q = EventQueue()
+        q.push(5, 0, lambda: None)
+        q.push(7, 0, lambda: None)
+        assert q.pop_if_at(4) is None
+        ev = q.pop_if_at(5)
+        assert ev is not None and ev.time == 5
+        assert q.pop_if_at(5) is None
+        assert q.peek_time() == 7
+
+    def test_skips_cancelled_shells(self):
+        q = EventQueue()
+        q.push(5, 0, lambda: None).cancel()
+        q.push(5, 1, lambda: None)
+        ev = q.pop_if_at(5)
+        assert ev is not None and ev.priority == 1
+
+    def test_empty_queue_returns_none(self):
+        assert EventQueue().pop_if_at(0) is None
