@@ -1,18 +1,30 @@
 #!/usr/bin/env python
-"""Runner smoke benchmark: serial vs parallel on a fixed 8-point sweep.
+"""Runner smoke benchmark: the experiment engine's trajectory log.
 
-Runs the same small regulation sweep twice -- once forced in-process
-serial, once through the process pool -- asserts the two produce
-byte-identical summaries, and appends the timing to
-``BENCH_runner.json`` so successive PRs accumulate a performance
-trajectory for the experiment engine.
+Runs a fixed 8-point regulation sweep three ways -- in-process serial
+under each scheduler backend (``REPRO_SCHED=calendar|heap``) and once
+through the process pool -- asserts all three produce byte-identical
+summaries, then times the kernel's scheduler-stress probe under both
+backends.  The timings are appended to ``BENCH_runner.json`` so
+successive PRs accumulate a performance trajectory for the experiment
+engine and the simulation kernel under it.
+
+Appended records carry ``schema: 2`` and a ``kind`` discriminator:
+
+* ``runner_sweep``      -- serial vs process-pool wall time (plus the
+  scheduler label the sweep ran under);
+* ``sched_sweep``       -- the same sweep, heap vs calendar backend:
+  the measured end-to-end scheduler comparison;
+* ``kernel_throughput`` -- raw scheduler events/s at a 128k-event
+  resident population, heap vs calendar (the E22 headline probe).
 
 Usage::
 
     PYTHONPATH=src python scripts/bench_smoke.py [--out BENCH_runner.json]
 
-Exit code 0 = rows identical (the speedup itself is reported, not
-asserted: CI boxes with one core legitimately see ~1x).
+Exit code 0 = all row sets identical (speedups are reported, not
+asserted: CI boxes with one core legitimately see ~1x, and tiny
+populations legitimately favour the C-implemented heap).
 """
 
 from __future__ import annotations
@@ -23,10 +35,16 @@ import os
 import sys
 import time
 
-sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+_HERE = os.path.dirname(os.path.abspath(__file__))
+sys.path.insert(0, os.path.join(_HERE, "..", "src"))
+sys.path.insert(0, os.path.join(_HERE, ".."))
 
 from repro.runner import ParallelRunner, RunSpec  # noqa: E402
+from repro.sim.kernel import SCHED_ENV, resolve_scheduler  # noqa: E402
 from repro.soc.presets import zcu102  # noqa: E402
+
+#: Schema version stamped on every appended record.
+SCHEMA = 2
 
 #: The fixed 8-point grid: 4 shares x 2 windows, small critical work
 #: so the whole smoke run stays in seconds.
@@ -61,44 +79,111 @@ def build_specs():
     return specs
 
 
-def timed_run(max_workers):
+def timed_run(max_workers, scheduler=None):
     """Run the sweep uncached; return (rows-as-json, seconds, mode)."""
-    runner = ParallelRunner(max_workers=max_workers, cache=None)
-    start = time.perf_counter()
-    summaries = runner.run(build_specs())
-    elapsed = time.perf_counter() - start
+    previous = os.environ.get(SCHED_ENV)
+    if scheduler is not None:
+        os.environ[SCHED_ENV] = scheduler
+    try:
+        runner = ParallelRunner(max_workers=max_workers, cache=None)
+        start = time.perf_counter()
+        summaries = runner.run(build_specs())
+        elapsed = time.perf_counter() - start
+    finally:
+        if scheduler is not None:
+            if previous is None:
+                os.environ.pop(SCHED_ENV, None)
+            else:
+                os.environ[SCHED_ENV] = previous
     return [s.to_json() for s in summaries], elapsed, runner.last_stats.mode
+
+
+def kernel_throughput():
+    """The E22 scheduler-stress probe: events/s per backend."""
+    from benchmarks.bench_e22_kernel import (
+        BACKENDS,
+        STRESS_POPULATION,
+        _bench_scheduler_stress,
+    )
+
+    rates = {}
+    for name, queue_cls in BACKENDS:
+        rate, _ = _bench_scheduler_stress(queue_cls)
+        rates[name] = rate
+    return rates, STRESS_POPULATION
+
+
+def _timestamp():
+    return time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime())
 
 
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
         "--out",
-        default=os.path.join(
-            os.path.dirname(__file__), "..", "BENCH_runner.json"
-        ),
+        default=os.path.join(_HERE, "..", "BENCH_runner.json"),
         help="timing log to append to (JSON list)",
     )
     args = parser.parse_args(argv)
 
-    serial_rows, serial_s, _ = timed_run(max_workers=1)
+    default_sched = resolve_scheduler()
+
+    # Three sweeps over the same grid: serial under each backend, then
+    # the process pool under the default backend.
+    calendar_rows, calendar_s, _ = timed_run(max_workers=1, scheduler="calendar")
+    heap_rows, heap_s, _ = timed_run(max_workers=1, scheduler="heap")
     parallel_rows, parallel_s, mode = timed_run(max_workers=None)
 
-    if serial_rows != parallel_rows:
+    if calendar_rows != heap_rows:
+        print("FAIL: heap and calendar summaries differ", file=sys.stderr)
+        return 1
+    if calendar_rows != parallel_rows:
         print("FAIL: serial and parallel summaries differ", file=sys.stderr)
         return 1
 
+    serial_s = calendar_s if default_sched == "calendar" else heap_s
     workers = ParallelRunner().max_workers
-    record = {
-        "points": len(serial_rows),
-        "workers": workers,
-        "parallel_mode": mode,
-        "serial_s": round(serial_s, 3),
-        "parallel_s": round(parallel_s, 3),
-        "speedup": round(serial_s / parallel_s, 3) if parallel_s else None,
-        "rows_identical": True,
-        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
-    }
+    records = [
+        {
+            "schema": SCHEMA,
+            "kind": "runner_sweep",
+            "points": len(calendar_rows),
+            "workers": workers,
+            "parallel_mode": mode,
+            "scheduler": default_sched,
+            "serial_s": round(serial_s, 3),
+            "parallel_s": round(parallel_s, 3),
+            "speedup": round(serial_s / parallel_s, 3) if parallel_s else None,
+            "rows_identical": True,
+            "timestamp": _timestamp(),
+        },
+        {
+            "schema": SCHEMA,
+            "kind": "sched_sweep",
+            "points": len(calendar_rows),
+            "heap_s": round(heap_s, 3),
+            "calendar_s": round(calendar_s, 3),
+            "calendar_vs_heap": round(heap_s / calendar_s, 3)
+            if calendar_s
+            else None,
+            "rows_identical": True,
+            "timestamp": _timestamp(),
+        },
+    ]
+
+    rates, population = kernel_throughput()
+    records.append(
+        {
+            "schema": SCHEMA,
+            "kind": "kernel_throughput",
+            "probe": "scheduler_stress",
+            "population": population,
+            "heap_events_s": round(rates["heap"]),
+            "calendar_events_s": round(rates["calendar"]),
+            "calendar_vs_heap": round(rates["calendar"] / rates["heap"], 3),
+            "timestamp": _timestamp(),
+        }
+    )
 
     out = os.path.abspath(args.out)
     history = []
@@ -110,15 +195,26 @@ def main(argv=None) -> int:
                 history = []
         except (OSError, ValueError):
             history = []
-    history.append(record)
+    history.extend(records)
     with open(out, "w") as fh:
         json.dump(history, fh, indent=2)
 
+    sweep, sched, kernel = records
     print(
-        f"bench_smoke: {record['points']} points, "
-        f"serial {record['serial_s']}s, "
-        f"{mode} {record['parallel_s']}s "
-        f"(x{record['speedup']}, {workers} workers) -> {out}"
+        f"bench_smoke: {sweep['points']} points, "
+        f"serial {sweep['serial_s']}s ({default_sched}), "
+        f"{mode} {sweep['parallel_s']}s (x{sweep['speedup']}, "
+        f"{workers} workers)"
+    )
+    print(
+        f"bench_smoke: sched sweep heap {sched['heap_s']}s vs "
+        f"calendar {sched['calendar_s']}s "
+        f"(x{sched['calendar_vs_heap']} end-to-end)"
+    )
+    print(
+        f"bench_smoke: kernel stress {kernel['heap_events_s']} ev/s heap "
+        f"vs {kernel['calendar_events_s']} ev/s calendar "
+        f"(x{kernel['calendar_vs_heap']}) -> {out}"
     )
     return 0
 

@@ -100,6 +100,16 @@ class MasterPort:
         #: Observers of completed transactions: ``fn(txn)``; called
         #: after timestamps are final (latency monitors hook here).
         self.completion_observers: List[Callable[[Transaction], None]] = []
+        # Pre-resolved collectors: submit/accept/complete run once per
+        # transaction, so the StatSet name lookups are hoisted out of
+        # the hot path.
+        self._stat_submitted = self.stats.counter("submitted")
+        self._stat_accepted = self.stats.counter("accepted")
+        self._stat_completed = self.stats.counter("completed")
+        self._stat_bytes = self.stats.counter("bytes")
+        self._stat_denials = self.stats.counter("regulator_denials")
+        self._samp_queueing = self.stats.sampler("queueing_delay")
+        self._samp_latency = self.stats.sampler("latency")
         if regulator is not None:
             regulator.bind_port(self)
 
@@ -122,7 +132,7 @@ class MasterPort:
             txn.qos = self.config.qos
         txn.mark_issued(self.sim.now)
         self._queue_for(txn).append(txn)
-        self.stats.counter("submitted").add()
+        self._stat_submitted.add()
         self._interconnect.kick()
 
     def _queue_for(self, txn: Transaction) -> Deque[Transaction]:
@@ -185,7 +195,7 @@ class MasterPort:
             if self.regulator is not None:
                 now = self.sim.now
                 if not self.regulator.may_issue(txn, now):
-                    self.stats.counter("regulator_denials").add()
+                    self._stat_denials.add()
                     self._schedule_retry(
                         self.regulator.next_opportunity(txn, now)
                     )
@@ -208,8 +218,8 @@ class MasterPort:
         self._outstanding += 1
         if self.regulator is not None:
             self.regulator.charge(txn, self.sim.now)
-        self.stats.counter("accepted").add()
-        self.stats.sampler("queueing_delay").record(txn.accepted - txn.issued)
+        self._stat_accepted.add()
+        self._samp_queueing.record(txn.accepted - txn.issued)
         return txn
 
     def complete(self, txn: Transaction) -> None:
@@ -219,13 +229,26 @@ class MasterPort:
         self._outstanding -= 1
         now = self.sim.now
         txn.mark_completed(now)
-        self.stats.counter("completed").add()
-        self.stats.counter("bytes").add(txn.nbytes)
-        self.stats.sampler("latency").record(txn.latency)
-        for observer in self.beat_observers:
-            observer(txn.nbytes, now)
-        for observer in self.completion_observers:
-            observer(txn)
+        self._stat_completed.add()
+        self._stat_bytes.add(txn.nbytes)
+        self._samp_latency.record(txn.latency)
+        # Flattened single-observer fast path: almost every port has
+        # exactly one beat observer (its bandwidth monitor), and this
+        # runs once per completed transaction.
+        observers = self.beat_observers
+        if observers:
+            if len(observers) == 1:
+                observers[0](txn.nbytes, now)
+            else:
+                for observer in observers:
+                    observer(txn.nbytes, now)
+        observers = self.completion_observers
+        if observers:
+            if len(observers) == 1:
+                observers[0](txn)
+            else:
+                for observer in observers:
+                    observer(txn)
         if self.trace is not None:
             self.trace.record(
                 TraceRecord(

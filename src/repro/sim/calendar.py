@@ -1,0 +1,376 @@
+"""Calendar-queue scheduler backend.
+
+The production event queue (``REPRO_SCHED=calendar``, the default).
+It exploits the temporal locality of this simulator's workloads:
+events overwhelmingly land within a few hundred cycles of ``now``
+(arbitration passes, DRAM bank timings, regulator retries), with a
+thin far-future tail (DRAM refresh, MemGuard periods, horizon stats).
+
+Structure:
+
+* A **ring** of per-cycle buckets covering the sliding window
+  ``[cursor, cursor + _BUCKETS)``.  Push is an O(1) list append;
+  within a bucket, events are lazily sorted by ``(priority, seq)``
+  descending so the next event is an O(1) ``list.pop()`` from the end.
+* An **overflow heap** for events at or beyond the window's far edge.
+  Each overflow event is migrated into the ring exactly once, when the
+  cursor advances far enough -- amortized O(log n) per far event,
+  instead of O(log n) per *every* event as in the reference heap.
+
+The dispatch order is bit-identical to :class:`repro.sim.event.
+EventQueue`: globally by ``(time, priority, seq)``.  Time order comes
+from the cursor scan (ascending cycles), intra-cycle order from the
+per-bucket sort; sequence numbers are assigned identically on push.
+A differential test (``tests/sim/test_scheduler_differential.py``)
+enforces this contract over randomized workloads.
+
+Invariants:
+
+* ``cursor`` never exceeds the time of the earliest live event, so a
+  bucket index uniquely identifies one cycle of the current window.
+* Every ring entry's time lies in ``[cursor, cursor + _BUCKETS)``
+  *or* the entry is a cancelled shell left behind by a cursor jump
+  (shells are skipped/purged, so they can never be mis-dispatched).
+* Every overflow entry's time is ``>= cursor + _BUCKETS`` (restored
+  by migration whenever the cursor advances).
+* Pushing below the cursor (legal for direct queue users, and
+  reachable through ``Simulator.run(until=...)`` bounds) triggers a
+  rare full re-placement of the ring (:meth:`CalendarQueue._rewind`).
+
+Like the reference backend, cancellation is lazy with exact
+``live_foreground`` accounting, cancelled shells are compacted away
+once they hold the majority, and dispatched events are recycled
+through the shared free-list pool.
+"""
+
+from __future__ import annotations
+
+import heapq
+from bisect import insort
+from typing import Callable, List, Optional, Tuple
+
+from repro.errors import SimulationError
+from repro.sim.event import Event, EventPoolMixin, _COMPACT_MIN_HEAP
+
+#: Ring size (power of two): the near-future horizon, in cycles.
+#: Sized to cover DRAM timings, retry windows and arbitration delays
+#: of the modelled platforms while bounding the worst-case idle scan.
+_BUCKETS = 256
+_MASK = _BUCKETS - 1
+
+#: Ring bucket entries are ``(priority, seq, event)`` -- time is
+#: implied by the bucket, and the event itself carries it for audits.
+_RingEntry = Tuple[int, int, Event]
+
+#: Precomputed single-bit masks for the occupancy word (avoids
+#: allocating fresh shift results on the hot paths).
+_BIT = [1 << i for i in range(_BUCKETS)]
+
+
+def _descending(entry: _RingEntry) -> Tuple[int, int]:
+    """Sort key inverting ``(priority, seq)`` for descending buckets."""
+    return (-entry[0], -entry[1])
+
+
+class CalendarQueue(EventPoolMixin):
+    """Calendar queue with the same protocol as ``EventQueue``."""
+
+    def __init__(self) -> None:
+        self._ring: List[List[_RingEntry]] = [[] for _ in range(_BUCKETS)]
+        self._ring_count = 0  # entries resident in the ring (incl. shells)
+        self._cursor = 0  # lower bound on the earliest live event time
+        #: The settled cursor bucket (sorted descending, next event
+        #: last) or ``None`` when a fresh settle scan is needed.  While
+        #: set, peek/pop are O(1) list-end operations -- the common
+        #: case: many dispatches per settled cycle.  Invalidated by
+        #: anything that could disturb that bucket's order: a push into
+        #: it, a rewind, a clear.  Cancellations need no invalidation;
+        #: the fast paths skip shells at the list end inline.
+        self._front: Optional[List[_RingEntry]] = None
+        #: Occupancy word: bit ``i`` set means ``ring[i]`` *may* be
+        #: non-empty.  Bits are set on insertion and cleared when a
+        #: dispatch path drains the cursor bucket; bits left stale by
+        #: compaction or purges are cleared lazily by the settle scan
+        #: (amortized O(1): each stale bit is visited once).  The scan
+        #: finds the next occupied cycle with two big-int operations
+        #: instead of walking empty buckets one by one.
+        self._occupied = 0
+        self._overflow: List[Tuple[int, int, int, Event]] = []
+        self._next_seq = 0
+        self._live_foreground = 0
+        self._cancelled_pending = 0
+        self._pool: List[Event] = []
+
+    def __len__(self) -> int:
+        return self._ring_count + len(self._overflow)
+
+    @property
+    def live_foreground(self) -> int:
+        """Pending non-daemon, non-cancelled events (exact count)."""
+        return self._live_foreground
+
+    @property
+    def cancelled_pending(self) -> int:
+        """Cancelled shells still occupying ring or overflow slots."""
+        return self._cancelled_pending
+
+    # ------------------------------------------------------------------
+    # insertion
+    # ------------------------------------------------------------------
+    def push(
+        self,
+        time: int,
+        priority: int,
+        callback: Callable[[], object],
+        daemon: bool = False,
+    ) -> Event:
+        """Create and enqueue an event; returns it so it can be cancelled."""
+        seq = self._next_seq
+        self._next_seq = seq + 1
+        event = self._acquire(time, priority, seq, callback, daemon)
+        cursor = self._cursor
+        if time < cursor:
+            self._rewind(time)
+            cursor = time
+        if time < cursor + _BUCKETS:
+            index = time & _MASK
+            bucket = self._ring[index]
+            if not bucket:
+                self._occupied |= _BIT[index]
+                bucket.append((priority, seq, event))
+            elif time == cursor and self._front is not None:
+                # The cursor bucket is settled (sorted descending with
+                # the next event last).  Same-cycle pushes are the
+                # simulator's dominant pattern -- arbitration chains
+                # within one cycle -- so keep the order intact with an
+                # ordered insert instead of invalidating and re-sorting
+                # the bucket on the next dispatch.
+                insort(bucket, (priority, seq, event), key=_descending)
+            else:
+                bucket.append((priority, seq, event))
+            self._ring_count += 1
+        else:
+            heapq.heappush(self._overflow, (time, priority, seq, event))
+        if not daemon:
+            self._live_foreground += 1
+        return event
+
+    def _rewind(self, time: int) -> None:
+        """Re-anchor the window at an earlier cycle.
+
+        Only reachable when a push lands below the cursor (the cursor
+        may run ahead of the *simulator* clock after a bounded
+        ``run(until=...)``).  Rare, so a full re-placement of resident
+        ring entries is fine.
+        """
+        entries: List[_RingEntry] = []
+        for bucket in self._ring:
+            if bucket:
+                entries.extend(bucket)
+                del bucket[:]
+        self._cursor = time
+        self._front = None
+        self._ring_count = 0
+        self._occupied = 0
+        limit = time + _BUCKETS
+        ring = self._ring
+        overflow = self._overflow
+        for entry in entries:
+            etime = entry[2].time
+            if etime < limit:
+                index = etime & _MASK
+                ring[index].append(entry)
+                self._ring_count += 1
+                self._occupied |= _BIT[index]
+            else:
+                heapq.heappush(overflow, (etime, entry[0], entry[1], entry[2]))
+
+    def _migrate(self) -> None:
+        """Pull overflow events that entered the window into the ring."""
+        overflow = self._overflow
+        if not overflow:
+            return
+        limit = self._cursor + _BUCKETS
+        ring = self._ring
+        while overflow and overflow[0][0] < limit:
+            time, priority, seq, event = heapq.heappop(overflow)
+            index = time & _MASK
+            ring[index].append((priority, seq, event))
+            self._ring_count += 1
+            self._occupied |= _BIT[index]
+
+    # ------------------------------------------------------------------
+    # the cursor scan
+    # ------------------------------------------------------------------
+    def _settle(self) -> Optional[int]:
+        """Advance the cursor to the earliest live event; purge shells.
+
+        Returns that event's time (== the new cursor), or ``None`` if
+        no live event remains.  After a successful settle, the bucket
+        at ``cursor & _MASK`` is sorted with the next event last and
+        cached as :attr:`_front`.
+
+        The scan splits the occupancy word at the cursor's bit: the
+        lowest set bit at-or-above it (or, wrapping, the lowest set bit
+        overall) is the next occupied cycle -- found in O(1),
+        independent of how many empty cycles lie in between.
+        """
+        while True:
+            ring = self._ring
+            while self._occupied:
+                cursor = self._cursor
+                shift = cursor & _MASK
+                occupied = self._occupied
+                high = occupied >> shift
+                if high:
+                    t = cursor + (high & -high).bit_length() - 1
+                else:
+                    t = (
+                        cursor
+                        - shift
+                        + _BUCKETS
+                        + (occupied & -occupied).bit_length()
+                        - 1
+                    )
+                index = t & _MASK
+                bucket = ring[index]
+                if len(bucket) > 1:
+                    # Lazy order: timsort on an almost-sorted
+                    # (descending) list is near-linear.
+                    bucket.sort(reverse=True)
+                while bucket and bucket[-1][2].cancelled:
+                    del bucket[-1]
+                    self._ring_count -= 1
+                    self._cancelled_pending -= 1
+                if bucket:
+                    if t != cursor:
+                        self._cursor = t
+                        if self._overflow:
+                            self._migrate()
+                    self._front = bucket
+                    return t
+                # Verified empty (was a stale or purged-out bit).
+                self._occupied &= ~_BIT[index]
+            overflow = self._overflow
+            while overflow and overflow[0][3].cancelled:
+                heapq.heappop(overflow)
+                self._cancelled_pending -= 1
+            if not overflow:
+                self._front = None
+                return None
+            # Jump the window to the far-future tail and loop back:
+            # migration makes the ring non-empty at the new cursor.
+            self._cursor = overflow[0][0]
+            self._migrate()
+
+    # ------------------------------------------------------------------
+    # removal
+    # ------------------------------------------------------------------
+    def pop(self) -> Event:
+        """Remove and return the earliest non-cancelled event.
+
+        Raises:
+            SimulationError: if the queue holds no live events.
+        """
+        bucket = self._front
+        while True:
+            if bucket:
+                event = bucket.pop()[2]
+                self._ring_count -= 1
+                if not bucket:
+                    self._occupied &= ~_BIT[self._cursor & _MASK]
+                if event.cancelled:
+                    self._cancelled_pending -= 1
+                    continue
+                if not event.daemon:
+                    self._live_foreground -= 1
+                event._queue = None
+                return event
+            if self._settle() is None:
+                raise SimulationError("pop() on an empty event queue")
+            bucket = self._front
+
+    def pop_if_at(self, time: int) -> Optional[Event]:
+        """Pop the next live event only if it fires at ``time``.
+
+        The same-cycle fast path of :meth:`Simulator.run`: one front
+        inspection both answers "is there more work this cycle?" and
+        delivers the event.
+        """
+        bucket = self._front
+        while True:
+            if bucket:
+                event = bucket[-1][2]
+                if event.cancelled:
+                    del bucket[-1]
+                    self._ring_count -= 1
+                    self._cancelled_pending -= 1
+                    if not bucket:
+                        self._occupied &= ~_BIT[self._cursor & _MASK]
+                    continue
+                if self._cursor != time:
+                    return None
+                del bucket[-1]
+                self._ring_count -= 1
+                if not bucket:
+                    self._occupied &= ~_BIT[self._cursor & _MASK]
+                if not event.daemon:
+                    self._live_foreground -= 1
+                event._queue = None
+                return event
+            next_time = self._settle()
+            if next_time is None or next_time != time:
+                return None
+            bucket = self._front
+
+    def peek_time(self) -> Optional[int]:
+        """Return the firing time of the next live event, or None."""
+        bucket = self._front
+        while bucket:
+            if not bucket[-1][2].cancelled:
+                return self._cursor
+            del bucket[-1]
+            self._ring_count -= 1
+            self._cancelled_pending -= 1
+            if not bucket:
+                self._occupied &= ~_BIT[self._cursor & _MASK]
+        return self._settle()
+
+    def clear(self) -> None:
+        for bucket in self._ring:
+            for entry in bucket:
+                entry[2]._queue = None
+            del bucket[:]
+        for entry in self._overflow:
+            entry[3]._queue = None
+        self._overflow.clear()
+        self._ring_count = 0
+        self._front = None
+        self._occupied = 0
+        self._live_foreground = 0
+        self._cancelled_pending = 0
+
+    # ------------------------------------------------------------------
+    # cancellation bookkeeping
+    # ------------------------------------------------------------------
+    def _on_cancel(self, event: Event) -> None:
+        """Account a cancellation of a still-resident event."""
+        if not event.daemon:
+            self._live_foreground -= 1
+        self._cancelled_pending += 1
+        resident = self._ring_count + len(self._overflow)
+        if resident >= _COMPACT_MIN_HEAP and self._cancelled_pending * 2 > resident:
+            self._compact()
+
+    def _compact(self) -> None:
+        """Drop cancelled shells from the ring and the overflow heap."""
+        count = 0
+        for bucket in self._ring:
+            if bucket:
+                bucket[:] = [e for e in bucket if not e[2].cancelled]
+                count += len(bucket)
+        self._ring_count = count
+        overflow = [e for e in self._overflow if not e[3].cancelled]
+        heapq.heapify(overflow)
+        self._overflow = overflow
+        self._cancelled_pending = 0

@@ -5,21 +5,36 @@ number is a monotonically increasing tie-breaker, which makes event
 dispatch fully deterministic: two events scheduled for the same cycle
 at the same priority always fire in scheduling order.
 
-Two implementation choices keep the queue fast on the simulator's hot
-path (it is entered once per dispatched event):
+This module holds the :class:`Event` object, the shared free-list
+pooling machinery, and the *reference* scheduler backend
+(:class:`EventQueue`, a single binary heap).  The production backend
+is the calendar queue in :mod:`repro.sim.calendar`; both implement the
+same queue protocol and are required to produce bit-identical dispatch
+traces (see ``tests/sim/test_scheduler_differential.py``).
+
+Three implementation choices keep the queues fast on the simulator's
+hot path (entered once per dispatched event):
 
 * Heap entries are ``(time, priority, seq, event)`` tuples, so
   ``heapq`` sibling comparisons run through the C tuple fast path
   instead of calling :meth:`Event.__lt__` for every swap.
 * Cancellation is *lazy* (events are flagged and skipped when they
-  surface), but the queue counts cancelled shells and compacts the
-  heap when they outnumber the live entries, bounding both memory and
-  the pop-side skip work under cancel-heavy workloads.
+  surface), but the queue counts cancelled shells and compacts when
+  they outnumber the live entries, bounding both memory and the
+  pop-side skip work under cancel-heavy workloads.
+* Dispatched :class:`Event` objects are recycled through a free list
+  (:class:`EventPoolMixin`) instead of being garbage collected, so a
+  steady-state run allocates almost no event objects.  Recycling is
+  guarded by a reference-count check: an event whose reference escaped
+  to user code (e.g. a caller keeping the handle to ``cancel()`` it
+  later) is simply left to the garbage collector, which keeps the
+  documented "``cancel()`` after dispatch is a no-op" contract safe.
 """
 
 from __future__ import annotations
 
 import heapq
+from sys import getrefcount
 from typing import Any, Callable, List, Optional, Tuple
 
 from repro.errors import SimulationError
@@ -27,6 +42,11 @@ from repro.errors import SimulationError
 #: Heap size below which compaction is never attempted (a rebuild of a
 #: tiny heap costs more in constant factors than the shells it frees).
 _COMPACT_MIN_HEAP = 64
+
+#: Upper bound on pooled (recycled) events per queue; beyond this the
+#: garbage collector takes over.  Bounds worst-case retained memory
+#: after a burst of in-flight events.
+_POOL_CAP = 4096
 
 
 class Event:
@@ -62,7 +82,7 @@ class Event:
         self.callback = callback
         self.cancelled = False
         self.daemon = daemon
-        self._queue: Optional["EventQueue"] = None
+        self._queue: Optional["EventPoolMixin"] = None
 
     def cancel(self) -> None:
         """Mark the event so it is ignored when popped.
@@ -91,14 +111,102 @@ class Event:
         return f"Event(t={self.time}, prio={self.priority}, seq={self.seq}, {state})"
 
 
-class EventQueue:
-    """A deterministic priority queue of :class:`Event` objects."""
+def _measure_recycle_refs() -> int:
+    """Reference count seen by :meth:`EventPoolMixin.recycle` for an
+    event that nothing else references.
+
+    Measured once at import instead of hard-coded, because the exact
+    count (caller's local + callee parameter + ``getrefcount``'s own
+    argument) is an implementation detail of the interpreter.
+    """
+    seen: List[int] = []
+
+    class _Probe:
+        def recycle(self, event: Event) -> None:
+            seen.append(getrefcount(event))
+
+    def _dispatch_site(queue: "_Probe") -> None:
+        event = Event(0, 0, 0, None)
+        queue.recycle(event)
+
+    _dispatch_site(_Probe())
+    return seen[0]
+
+
+_RECYCLE_REFS = _measure_recycle_refs()
+
+
+class EventPoolMixin:
+    """Free-list :class:`Event` recycling shared by queue backends.
+
+    ``_acquire`` replaces ``Event(...)`` on the push path; ``recycle``
+    is called by the simulator after an event's callback has run.  An
+    event is only pooled when the dispatch loop holds the *sole*
+    remaining reference (checked via the interpreter's reference
+    count), so user code that retained the handle -- to inspect it or
+    call ``cancel()`` late -- can never observe its event object being
+    reincarnated as a different scheduled callback.
+    """
+
+    _pool: List[Event]
+
+    def _acquire(
+        self,
+        time: int,
+        priority: int,
+        seq: int,
+        callback: Callable[[], Any],
+        daemon: bool,
+    ) -> Event:
+        pool = self._pool
+        if pool:
+            event = pool.pop()
+            event.time = time
+            event.priority = priority
+            event.seq = seq
+            event.callback = callback
+            event.cancelled = False
+            event.daemon = daemon
+        else:
+            event = Event(time, priority, seq, callback, daemon=daemon)
+        event._queue = self
+        return event
+
+    def recycle(self, event: Event) -> None:
+        """Return a dispatched event to the free list (if safe).
+
+        Safe means: no reference beyond the dispatch loop's own
+        survives, so the object cannot be reached -- let alone
+        cancelled -- by stale user code after reuse.
+        """
+        if getrefcount(event) != _RECYCLE_REFS:
+            return
+        event.callback = None  # release the closure promptly
+        event.cancelled = False
+        event._queue = None
+        pool = self._pool
+        if len(pool) < _POOL_CAP:
+            pool.append(event)
+
+    def _on_cancel(self, event: Event) -> None:  # pragma: no cover - interface
+        raise NotImplementedError
+
+
+class EventQueue(EventPoolMixin):
+    """The reference scheduler backend: one deterministic binary heap.
+
+    Kept as the oracle implementation (``REPRO_SCHED=heap``) that the
+    calendar queue is differentially tested against; also the better
+    fit for pathological workloads whose events are spread uniformly
+    over a very long horizon.
+    """
 
     def __init__(self) -> None:
         self._heap: List[Tuple[int, int, int, Event]] = []
         self._next_seq = 0
         self._live_foreground = 0
         self._cancelled_in_heap = 0
+        self._pool = []
 
     def __len__(self) -> int:
         return len(self._heap)
@@ -123,10 +231,10 @@ class EventQueue:
         daemon: bool = False,
     ) -> Event:
         """Create and enqueue an event; returns it so it can be cancelled."""
-        event = Event(time, priority, self._next_seq, callback, daemon=daemon)
-        event._queue = self
-        heapq.heappush(self._heap, (time, priority, self._next_seq, event))
-        self._next_seq += 1
+        seq = self._next_seq
+        self._next_seq = seq + 1
+        event = self._acquire(time, priority, seq, callback, daemon)
+        heapq.heappush(self._heap, (time, priority, seq, event))
         if not daemon:
             self._live_foreground += 1
         return event

@@ -11,14 +11,57 @@ reserves a small set of well-known levels in :class:`Phase` so that,
 within one cycle, regulators replenish before masters retry, masters
 present requests before the interconnect arbitrates, and statistics
 snapshots run last.
+
+Two scheduler backends implement the event queue (selected with the
+``REPRO_SCHED`` environment variable or the ``scheduler=`` argument):
+
+* ``calendar`` (default) -- :class:`repro.sim.calendar.CalendarQueue`,
+  per-cycle buckets over a sliding near-future window with a heap
+  overflow tier; the fast path for this simulator's workloads.
+* ``heap`` -- :class:`repro.sim.event.EventQueue`, a single binary
+  heap; the reference implementation.
+
+Both produce bit-identical dispatch traces, so results never depend
+on the knob; it exists for performance work and differential testing.
 """
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, List, Optional
+import os
+from typing import Any, Callable, Dict, List, Optional, Union
 
-from repro.errors import SimulationError
+from repro.errors import ConfigError, SimulationError
+from repro.sim.calendar import CalendarQueue
 from repro.sim.event import Event, EventQueue
+
+#: Environment variable selecting the scheduler backend.
+SCHED_ENV = "REPRO_SCHED"
+
+#: Backend registry: name -> queue factory.
+SCHEDULERS = {
+    "calendar": CalendarQueue,
+    "heap": EventQueue,
+}
+
+_DEFAULT_SCHED = "calendar"
+
+
+def resolve_scheduler(name: Optional[str] = None) -> str:
+    """Resolve a scheduler name (argument > ``REPRO_SCHED`` > default).
+
+    Raises:
+        ConfigError: for a name outside :data:`SCHEDULERS`.
+    """
+    if name is None:
+        name = os.environ.get(SCHED_ENV, "").strip().lower() or _DEFAULT_SCHED
+    else:
+        name = name.strip().lower()
+    if name not in SCHEDULERS:
+        raise ConfigError(
+            f"unknown scheduler {name!r} (expected one of "
+            f"{sorted(SCHEDULERS)}; set via {SCHED_ENV} or scheduler=)"
+        )
+    return name
 
 
 class Phase:
@@ -37,6 +80,11 @@ class Phase:
 class Simulator:
     """Deterministic event-driven simulator with an integer cycle clock.
 
+    Args:
+        scheduler: Event-queue backend name (``"calendar"`` or
+            ``"heap"``); ``None`` defers to ``REPRO_SCHED`` and the
+            default.  Dispatch order is identical across backends.
+
     Example:
         >>> sim = Simulator()
         >>> fired = []
@@ -46,8 +94,9 @@ class Simulator:
         [5]
     """
 
-    def __init__(self) -> None:
-        self._queue = EventQueue()
+    def __init__(self, scheduler: Optional[str] = None) -> None:
+        self.scheduler = resolve_scheduler(scheduler)
+        self._queue: Union[CalendarQueue, EventQueue] = SCHEDULERS[self.scheduler]()
         self._now = 0
         self._running = False
         self._finished = False
@@ -131,11 +180,18 @@ class Simulator:
         self._running = True
         self._stop_requested = False
         queue = self._queue
+        # Pre-bound references keep the per-event loop free of
+        # repeated attribute lookups (this loop runs once per
+        # dispatched event -- millions of times per experiment).
+        peek_time = queue.peek_time
+        pop = queue.pop
+        pop_if_at = queue.pop_if_at
+        recycle = queue.recycle
         try:
             while True:
                 if self._stop_requested:
                     break
-                next_time = queue.peek_time()
+                next_time = peek_time()
                 if next_time is None or queue.live_foreground == 0:
                     # Drained: nothing left, or only daemon events
                     # (background refresh/ticks) remain.
@@ -145,18 +201,20 @@ class Simulator:
                 if until is not None and next_time > until:
                     self._now = until
                     break
-                event = queue.pop()
+                event = pop()
                 self._now = event.time
                 event.callback()
+                recycle(event)
                 # Same-cycle fast path: drain the rest of this cycle
                 # with single-scan pops, skipping the redundant
                 # peek/horizon checks (the horizon can only be crossed
                 # when time advances).
                 while not self._stop_requested and queue.live_foreground > 0:
-                    event = queue.pop_if_at(self._now)
+                    event = pop_if_at(self._now)
                     if event is None:
                         break
                     event.callback()
+                    recycle(event)
         finally:
             self._running = False
         for fn in self._finalizers:
@@ -174,14 +232,22 @@ class Simulator:
         self._stop_requested = True
 
     def step(self) -> Optional[int]:
-        """Dispatch exactly one event; returns its time or None if idle."""
-        next_time = self._queue.peek_time()
-        if next_time is None:
+        """Dispatch exactly one event; returns its time or None if idle.
+
+        Consistent with :meth:`run`: when only daemon events
+        (background refresh/ticks) remain, the simulation counts as
+        drained and ``step()`` returns ``None`` instead of ticking
+        daemons forever.
+        """
+        queue = self._queue
+        if queue.live_foreground == 0 or queue.peek_time() is None:
             return None
-        event = self._queue.pop()
-        self._now = event.time
+        event = queue.pop()
+        time = event.time
+        self._now = time
         event.callback()
-        return event.time
+        queue.recycle(event)
+        return time
 
     @property
     def pending_events(self) -> int:

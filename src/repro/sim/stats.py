@@ -132,6 +132,13 @@ class TimeSeries:
 
     Used for per-window bandwidth traces: ``add(now, nbytes)`` folds
     the contribution into bin ``now // bin_width``.
+
+    Bins are a dense array indexed by bin number (simulation time is
+    non-negative and mostly advances monotonically, so the array stays
+    compact and the hot ``add`` path is an index-and-add instead of a
+    dict hash/lookup).  A plain list is used rather than the ``array``
+    module so integer byte counts stay exact integers in reports
+    instead of being coerced to a fixed C type.
     """
 
     __slots__ = ("name", "bin_width", "_bins")
@@ -141,11 +148,21 @@ class TimeSeries:
             raise SimulationError(f"bin width must be positive, got {bin_width}")
         self.name = name
         self.bin_width = bin_width
-        self._bins: Dict[int, Number] = {}
+        self._bins: List[Number] = []
 
     def add(self, time: int, value: Number) -> None:
         index = time // self.bin_width
-        self._bins[index] = self._bins.get(index, 0) + value
+        bins = self._bins
+        if index < len(bins):
+            bins[index] += value
+            return
+        if index < 0:
+            raise SimulationError(
+                f"time series {self.name!r}: negative time {time}"
+            )
+        if index > len(bins):
+            bins.extend([0] * (index - len(bins)))
+        bins.append(value)
 
     def bins(self, first: int = 0, last: Optional[int] = None) -> List[Number]:
         """Densely materialized bin values over ``[first, last]``.
@@ -154,17 +171,19 @@ class TimeSeries:
             first: First bin index.
             last: Last bin index (defaults to the highest touched bin).
         """
-        if not self._bins:
+        bins = self._bins
+        if not bins:
             return []
         if last is None:
-            last = max(self._bins)
-        return [self._bins.get(i, 0) for i in range(first, last + 1)]
+            last = len(bins) - 1
+        count = len(bins)
+        return [bins[i] if 0 <= i < count else 0 for i in range(first, last + 1)]
 
     def max_bin(self) -> Number:
-        return max(self._bins.values()) if self._bins else 0
+        return max(self._bins) if self._bins else 0
 
     def total(self) -> Number:
-        return sum(self._bins.values())
+        return sum(self._bins)
 
 
 class StatSet:

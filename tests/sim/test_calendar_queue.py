@@ -1,0 +1,216 @@
+"""Calendar-queue structural tests.
+
+The protocol-level behaviour shared with the reference heap is covered
+by the parametrized suites (``test_event_queue.py``) and the
+differential tests; these tests aim at the mechanisms specific to the
+calendar layout -- the sliding bucket window, overflow migration,
+cursor jumps and rewinds -- including states the platform workloads
+rarely reach.
+"""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.calendar import _BUCKETS, CalendarQueue
+from repro.sim.kernel import Simulator
+
+
+class TestOverflowTier:
+    def test_far_future_events_dispatch_in_order(self):
+        q = CalendarQueue()
+        times = [0, _BUCKETS - 1, _BUCKETS, 3 * _BUCKETS + 7, 10 * _BUCKETS]
+        for t in reversed(times):
+            q.push(t, 0, lambda: None)
+        assert len(q) == len(times)
+        assert [q.pop().time for _ in times] == sorted(times)
+
+    def test_migration_preserves_intra_cycle_order(self):
+        # Two events far beyond the window, same cycle, distinct
+        # priorities: migration must hand them to the ring in a way
+        # that still dispatches by (priority, seq).
+        q = CalendarQueue()
+        far = 5 * _BUCKETS
+        q.push(far, 9, lambda: None)
+        q.push(far, 1, lambda: None)
+        q.push(0, 0, lambda: None)
+        assert q.pop().time == 0
+        first, second = q.pop(), q.pop()
+        assert (first.priority, second.priority) == (1, 9)
+
+    def test_overflow_entry_migrates_once_window_slides(self):
+        q = CalendarQueue()
+        q.push(1, 0, lambda: None)
+        q.push(_BUCKETS + 1, 0, lambda: None)  # just past the window
+        assert q.pop().time == 1
+        # Advancing the cursor to the next live event slides the
+        # window far enough to cover the former overflow entry.
+        assert q.peek_time() == _BUCKETS + 1
+        assert q.pop().time == _BUCKETS + 1
+
+    def test_cancelled_overflow_events_are_skipped(self):
+        q = CalendarQueue()
+        q.push(4 * _BUCKETS, 0, lambda: None).cancel()
+        q.push(6 * _BUCKETS, 0, lambda: None)
+        assert q.peek_time() == 6 * _BUCKETS
+        assert q.pop().time == 6 * _BUCKETS
+
+    def test_all_overflow_cancelled_leaves_queue_empty(self):
+        q = CalendarQueue()
+        for k in range(3):
+            q.push((2 + k) * _BUCKETS, 0, lambda: None).cancel()
+        assert q.peek_time() is None
+        with pytest.raises(SimulationError):
+            q.pop()
+
+
+class TestWindowJumps:
+    def test_sparse_events_across_many_windows(self):
+        # Each event sits several windows beyond the previous one, so
+        # every dispatch forces a cursor jump through the overflow tier.
+        q = CalendarQueue()
+        times = [k * 7 * _BUCKETS + (k % 3) for k in range(10)]
+        for t in times:
+            q.push(t, 0, lambda: None)
+        assert [q.pop().time for _ in times] == sorted(times)
+        assert q.peek_time() is None
+
+    def test_stale_bucket_entries_after_jump_cannot_misfire(self):
+        # A cancelled shell left at ring index i, then a jump of
+        # exactly _BUCKETS cycles aliases a *live* event onto the same
+        # index.  The shell must be purged, not dispatched, and the
+        # live event must fire at its own time.
+        q = CalendarQueue()
+        shell = q.push(5, 0, lambda: None)
+        keeper = q.push(10, 0, lambda: None)
+        shell.cancel()
+        assert q.pop() is keeper
+        # Aliases index 5 (cursor has advanced past 5, so time 5 +
+        # _BUCKETS maps onto the shell's bucket while in-window).
+        q.push(5 + _BUCKETS, 0, lambda: None)
+        assert q.peek_time() == 5 + _BUCKETS
+        ev = q.pop()
+        assert ev.time == 5 + _BUCKETS and not ev.cancelled
+        assert len(q) == 0
+
+
+class TestRewind:
+    def test_push_below_cursor_dispatches_first(self):
+        q = CalendarQueue()
+        q.push(100, 0, lambda: None)
+        assert q.peek_time() == 100  # settle advances the cursor to 100
+        q.push(40, 0, lambda: None)  # below the cursor: forces a rewind
+        assert q.peek_time() == 40
+        assert [q.pop().time, q.pop().time] == [40, 100]
+
+    def test_rewind_respects_overflow_boundary(self):
+        # After rewinding to an early cycle, an event that used to be
+        # in-window may now be beyond the new window's far edge; it
+        # must still dispatch in global order.
+        q = CalendarQueue()
+        q.push(200, 0, lambda: None)
+        assert q.peek_time() == 200
+        q.push(1, 0, lambda: None)  # rewind: 200 >= 1 + _BUCKETS again
+        q.push(90, 0, lambda: None)
+        assert [q.pop().time for _ in range(3)] == [1, 90, 200]
+
+    def test_rewind_through_simulator_bounded_run(self):
+        # The kernel-level path that makes rewinds reachable: a bounded
+        # run leaves the clock at `until` while the queue's cursor has
+        # settled on the next event beyond it; a later schedule_at
+        # between the two lands below the cursor.
+        sim = Simulator(scheduler="calendar")
+        fired = []
+        sim.schedule_at(500, lambda: fired.append(500))
+        sim.run(until=100)
+        assert sim.now == 100
+        sim.schedule_at(150, lambda: fired.append(150))
+        sim.run()
+        assert fired == [150, 500]
+
+
+class TestSameCycleInsert:
+    def test_pushes_into_settled_cycle_keep_priority_order(self):
+        # After the cursor bucket has been settled (sorted), same-cycle
+        # pushes take the ordered-insert path; dispatch order must stay
+        # (priority, seq) regardless of arrival order.
+        q = CalendarQueue()
+        fired = []
+        q.push(7, 50, lambda: fired.append("mid"))
+        assert q.peek_time() == 7  # settles cycle 7
+        q.push(7, 90, lambda: fired.append("late"))
+        q.push(7, 10, lambda: fired.append("early"))
+        q.push(7, 50, lambda: fired.append("mid2"))
+        while q.live_foreground:
+            q.pop().callback()
+        assert fired == ["early", "mid", "mid2", "late"]
+
+    def test_insert_into_drained_settled_cycle(self):
+        # The settled bucket can be drained empty mid-cycle and then
+        # receive another same-cycle push (an event callback scheduling
+        # zero-delay work); it must dispatch within the same cycle.
+        q = CalendarQueue()
+        q.push(3, 0, lambda: None)
+        assert q.pop_if_at(3) is not None
+        q.push(3, 5, lambda: None)
+        ev = q.pop_if_at(3)
+        assert ev is not None and ev.time == 3 and ev.priority == 5
+
+    def test_same_cycle_cascade_through_simulator(self):
+        # A chain of zero-delay schedules inside callbacks -- the
+        # dominant platform pattern (kick -> arbitrate -> complete).
+        sim = Simulator(scheduler="calendar")
+        fired = []
+
+        def chain(depth):
+            fired.append(depth)
+            if depth < 20:
+                sim.schedule(0, lambda: chain(depth + 1))
+
+        sim.schedule_at(9, lambda: chain(0))
+        sim.run()
+        assert fired == list(range(21))
+        assert sim.now == 9
+
+
+class TestBookkeeping:
+    def test_len_counts_ring_and_overflow(self):
+        q = CalendarQueue()
+        q.push(1, 0, lambda: None)
+        q.push(2 * _BUCKETS, 0, lambda: None)
+        assert len(q) == 2
+        q.pop()
+        assert len(q) == 1
+
+    def test_clear_resets_across_tiers(self):
+        q = CalendarQueue()
+        ev_near = q.push(1, 0, lambda: None)
+        ev_far = q.push(3 * _BUCKETS, 0, lambda: None)
+        q.clear()
+        assert len(q) == 0
+        assert q.peek_time() is None
+        assert q.live_foreground == 0
+        # Handles detached by clear() must be inert afterwards.
+        ev_near.cancel()
+        ev_far.cancel()
+        assert q.live_foreground == 0
+        q.push(5, 0, lambda: None)
+        assert q.pop().time == 5
+
+    def test_compaction_purges_both_tiers(self):
+        q = CalendarQueue()
+        ring_events = [q.push(t % _BUCKETS, 0, lambda: None) for t in range(60)]
+        far_events = [
+            q.push(2 * _BUCKETS + t, 0, lambda: None) for t in range(60)
+        ]
+        for ev in ring_events:
+            ev.cancel()
+        for ev in far_events[:40]:
+            ev.cancel()
+        # 100 of 120 cancelled: the majority threshold was crossed, so
+        # shells were reclaimed from ring and overflow alike instead of
+        # all 100 lingering until popped.
+        assert len(q) < 120
+        assert q.live_foreground == 20
+        assert sorted(q.pop().time for _ in range(20)) == [
+            2 * _BUCKETS + t for t in range(40, 60)
+        ]

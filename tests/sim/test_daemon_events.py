@@ -80,8 +80,35 @@ class TestDaemonEvents:
         assert "victim" not in fired
         assert sim.now == 25
 
-    def test_step_runs_daemons_directly(self, sim):
+    def test_step_with_only_daemons_is_drained(self, sim):
+        # Consistent with run(): daemons alone never constitute work,
+        # so step() reports the simulation as drained instead of
+        # dispatching refresh/OS ticks forever.
         fired = []
         sim.schedule(5, lambda: fired.append(1), daemon=True)
+        assert sim.step() is None
+        assert fired == []
+
+    def test_step_runs_daemons_while_foreground_pending(self, sim):
+        fired = []
+        sim.schedule(5, lambda: fired.append("daemon"), daemon=True)
+        sim.schedule(9, lambda: fired.append("work"))
         assert sim.step() == 5
-        assert fired == [1]
+        assert sim.step() == 9
+        assert fired == ["daemon", "work"]
+        assert sim.step() is None
+
+    def test_step_drains_when_foreground_becomes_cancelled(self, sim):
+        fired = []
+
+        def tick():
+            fired.append(sim.now)
+            sim.schedule(10, tick, daemon=True)
+
+        sim.schedule(10, tick, daemon=True)
+        victim = sim.schedule(1_000, lambda: fired.append("victim"))
+        assert sim.step() == 10
+        victim.cancel()
+        # Only daemons (and a cancelled shell) remain: drained.
+        assert sim.step() is None
+        assert fired == [10]

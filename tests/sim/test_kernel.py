@@ -2,8 +2,15 @@
 
 import pytest
 
-from repro.errors import SimulationError
-from repro.sim.kernel import Phase, Simulator
+from repro.errors import ConfigError, SimulationError
+from repro.sim.calendar import CalendarQueue
+from repro.sim.event import EventQueue
+from repro.sim.kernel import (
+    SCHEDULERS,
+    Phase,
+    Simulator,
+    resolve_scheduler,
+)
 
 
 class TestScheduling:
@@ -134,3 +141,40 @@ class TestStopAndFinalize:
         sim.schedule(1, evil)
         with pytest.raises(SimulationError):
             sim.run()
+
+
+class TestSchedulerSelection:
+    def test_default_backend_is_calendar(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SCHED", raising=False)
+        assert Simulator().scheduler == "calendar"
+
+    def test_env_selects_backend(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCHED", "heap")
+        sim = Simulator()
+        assert sim.scheduler == "heap"
+        assert isinstance(sim._queue, EventQueue)
+
+    def test_argument_overrides_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCHED", "heap")
+        sim = Simulator(scheduler="calendar")
+        assert sim.scheduler == "calendar"
+        assert isinstance(sim._queue, CalendarQueue)
+
+    def test_names_are_normalized(self):
+        assert resolve_scheduler("  Heap ") == "heap"
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ConfigError):
+            Simulator(scheduler="splay-tree")
+
+    def test_unknown_env_value_rejected(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCHED", "btree")
+        with pytest.raises(ConfigError):
+            Simulator()
+
+    def test_empty_env_falls_back_to_default(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCHED", "")
+        assert Simulator().scheduler == "calendar"
+
+    def test_registry_matches_backends(self):
+        assert SCHEDULERS == {"calendar": CalendarQueue, "heap": EventQueue}
