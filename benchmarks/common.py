@@ -19,6 +19,7 @@ from repro.runner import ParallelRunner, ResultCache, RunSpec, RunSummary
 from repro.soc.experiment import DEFAULT_MAX_CYCLES, PlatformResult
 from repro.soc.platform import Platform, PlatformConfig
 from repro.soc.presets import zcu102
+from repro.telemetry import write_runner_report
 
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
 
@@ -96,8 +97,18 @@ def runner() -> ParallelRunner:
 
 
 def run_specs(specs: Sequence[RunSpec]) -> List[RunSummary]:
-    """Fan a batch of independent runs out through the shared runner."""
-    return runner().run(specs)
+    """Fan a batch of independent runs out through the shared runner.
+
+    Each batch also refreshes ``results/runner_telemetry.json`` -- the
+    execution report (cache accounting, worker utilization, per-spec
+    seconds) sitting next to the result tables it produced.
+    """
+    results = runner().run(specs)
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    write_runner_report(
+        runner(), os.path.join(RESULTS_DIR, "runner_telemetry.json")
+    )
+    return results
 
 
 def experiment_spec(

@@ -12,6 +12,7 @@ Run:  python examples/quickstart.py
 """
 
 from repro import RegulatorSpec, run_experiment, slowdown, zcu102
+from repro.telemetry import MetricsRegistry, use_registry
 
 
 def describe(tag, result, solo_runtime):
@@ -46,12 +47,20 @@ def main():
     spec = RegulatorSpec(
         kind="tightly_coupled", window_cycles=256, budget_bytes=410
     )
-    regulated = run_experiment(zcu102(num_accels=4, accel_regulator=spec))
+    # Force the telemetry registry on for this run so the summary
+    # below is populated regardless of REPRO_TELEMETRY.
+    metrics = MetricsRegistry(enabled=True)
+    with use_registry(metrics):
+        regulated = run_experiment(zcu102(num_accels=4, accel_regulator=spec))
     describe("tightly-coupled", regulated, solo_runtime)
 
     print("The regulator bounds each hog to its reservation, so the")
     print("critical core runs near isolation speed while the hogs")
     print("still consume a controlled share of the DRAM bandwidth.")
+
+    print()
+    print("=== Telemetry: metrics of the regulated run ===")
+    print(metrics.format_summary(limit=20))
 
 
 if __name__ == "__main__":

@@ -9,14 +9,17 @@ backends.  The timings are appended to ``BENCH_runner.json`` so
 successive PRs accumulate a performance trajectory for the experiment
 engine and the simulation kernel under it.
 
-Appended records carry ``schema: 2`` and a ``kind`` discriminator:
+Appended records carry ``schema: 3`` and a ``kind`` discriminator:
 
 * ``runner_sweep``      -- serial vs process-pool wall time (plus the
   scheduler label the sweep ran under);
 * ``sched_sweep``       -- the same sweep, heap vs calendar backend:
   the measured end-to-end scheduler comparison;
 * ``kernel_throughput`` -- raw scheduler events/s at a 128k-event
-  resident population, heap vs calendar (the E22 headline probe).
+  resident population, heap vs calendar (the E22 headline probe);
+* ``runner_telemetry``  -- the pool run's execution report
+  (:class:`repro.telemetry.RunnerTelemetry`: per-spec seconds,
+  worker utilization, cache accounting), nested under ``telemetry``.
 
 Usage::
 
@@ -44,7 +47,7 @@ from repro.sim.kernel import SCHED_ENV, resolve_scheduler  # noqa: E402
 from repro.soc.presets import zcu102  # noqa: E402
 
 #: Schema version stamped on every appended record.
-SCHEMA = 2
+SCHEMA = 3
 
 #: The fixed 8-point grid: 4 shares x 2 windows, small critical work
 #: so the whole smoke run stays in seconds.
@@ -80,7 +83,7 @@ def build_specs():
 
 
 def timed_run(max_workers, scheduler=None):
-    """Run the sweep uncached; return (rows-as-json, seconds, mode)."""
+    """Run the sweep uncached; return (rows-as-json, seconds, runner)."""
     previous = os.environ.get(SCHED_ENV)
     if scheduler is not None:
         os.environ[SCHED_ENV] = scheduler
@@ -95,7 +98,7 @@ def timed_run(max_workers, scheduler=None):
                 os.environ.pop(SCHED_ENV, None)
             else:
                 os.environ[SCHED_ENV] = previous
-    return [s.to_json() for s in summaries], elapsed, runner.last_stats.mode
+    return [s.to_json() for s in summaries], elapsed, runner
 
 
 def kernel_throughput():
@@ -132,7 +135,8 @@ def main(argv=None) -> int:
     # the process pool under the default backend.
     calendar_rows, calendar_s, _ = timed_run(max_workers=1, scheduler="calendar")
     heap_rows, heap_s, _ = timed_run(max_workers=1, scheduler="heap")
-    parallel_rows, parallel_s, mode = timed_run(max_workers=None)
+    parallel_rows, parallel_s, parallel_runner = timed_run(max_workers=None)
+    mode = parallel_runner.last_stats.mode
 
     if calendar_rows != heap_rows:
         print("FAIL: heap and calendar summaries differ", file=sys.stderr)
@@ -185,6 +189,17 @@ def main(argv=None) -> int:
         }
     )
 
+    from repro.telemetry import RunnerTelemetry
+
+    records.append(
+        {
+            "schema": SCHEMA,
+            "kind": "runner_telemetry",
+            "telemetry": RunnerTelemetry.from_runner(parallel_runner).to_dict(),
+            "timestamp": _timestamp(),
+        }
+    )
+
     out = os.path.abspath(args.out)
     history = []
     if os.path.exists(out):
@@ -199,7 +214,8 @@ def main(argv=None) -> int:
     with open(out, "w") as fh:
         json.dump(history, fh, indent=2)
 
-    sweep, sched, kernel = records
+    sweep, sched, kernel = records[:3]
+    telemetry = records[3]["telemetry"]
     print(
         f"bench_smoke: {sweep['points']} points, "
         f"serial {sweep['serial_s']}s ({default_sched}), "
@@ -215,6 +231,12 @@ def main(argv=None) -> int:
         f"bench_smoke: kernel stress {kernel['heap_events_s']} ev/s heap "
         f"vs {kernel['calendar_events_s']} ev/s calendar "
         f"(x{kernel['calendar_vs_heap']}) -> {out}"
+    )
+    print(
+        f"bench_smoke: pool utilization "
+        f"{telemetry['utilization']:.0%} over {telemetry['workers']} workers "
+        f"({telemetry['executed']} executed, "
+        f"{telemetry['cache_hits']} cache hits)"
     )
     return 0
 

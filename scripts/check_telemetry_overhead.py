@@ -1,0 +1,89 @@
+#!/usr/bin/env python
+"""Telemetry-overhead gate for CI.
+
+Runs the E22 ``scheduler_stress`` probe (the kernel's headline
+throughput microbenchmark) under ``REPRO_TELEMETRY=on`` and ``off``
+in the same process and fails when the *disabled* configuration is
+more than ``--tolerance`` slower than the enabled one.  The kernel
+hot path carries no push-style instrumentation at all (see
+``docs/observability.md``), so any same-run gap beyond noise means
+overhead crept onto the dispatch path.
+
+Same-run comparison is deliberate: the absolute events/s figures in
+``BENCH_runner.json`` track dev machines and cannot gate CI boxes.
+
+Usage::
+
+    PYTHONPATH=src python scripts/check_telemetry_overhead.py \
+        [--repeats 3] [--tolerance 0.02]
+
+Exit code 0 = within tolerance.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+
+_HERE = os.path.dirname(os.path.abspath(__file__))
+sys.path.insert(0, os.path.join(_HERE, "..", "src"))
+sys.path.insert(0, os.path.join(_HERE, ".."))
+
+from benchmarks.bench_e22_kernel import (  # noqa: E402
+    BACKENDS,
+    _bench_scheduler_stress,
+)
+from repro.telemetry import (  # noqa: E402
+    TELEMETRY_ENV,
+    MetricsRegistry,
+    set_registry,
+)
+
+
+def _measure(mode: str, repeats: int) -> float:
+    """Best-of-N probe rate with telemetry forced to ``mode``."""
+    os.environ[TELEMETRY_ENV] = mode
+    # Rebuild the process-wide registry so it re-reads the env var.
+    set_registry(MetricsRegistry())
+    queue_cls = dict(BACKENDS)["calendar"]
+    return max(_bench_scheduler_stress(queue_cls)[0] for _ in range(repeats))
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--repeats", type=int, default=3,
+                        help="probe runs per setting (best-of)")
+    parser.add_argument("--tolerance", type=float, default=0.02,
+                        help="allowed fractional slowdown of 'off' vs 'on'")
+    args = parser.parse_args(argv)
+
+    previous = os.environ.get(TELEMETRY_ENV)
+    try:
+        rate_on = _measure("on", args.repeats)
+        rate_off = _measure("off", args.repeats)
+    finally:
+        if previous is None:
+            os.environ.pop(TELEMETRY_ENV, None)
+        else:
+            os.environ[TELEMETRY_ENV] = previous
+        set_registry(MetricsRegistry())
+
+    ratio = rate_off / rate_on
+    print(
+        f"telemetry overhead: on {rate_on:,.0f} ev/s, "
+        f"off {rate_off:,.0f} ev/s (off/on {ratio:.3f}, "
+        f"tolerance {args.tolerance:.0%})"
+    )
+    if rate_off < rate_on * (1.0 - args.tolerance):
+        print(
+            "FAIL: disabled-telemetry kernel throughput regressed "
+            f"{1.0 - ratio:.1%} vs enabled (same run)",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

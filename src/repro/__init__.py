@@ -73,6 +73,16 @@ from repro.runner import (
     RunSummary,
     execute_spec,
 )
+from repro.telemetry import (
+    MetricsRegistry,
+    PhaseProfiler,
+    RunnerTelemetry,
+    TraceEventSink,
+    export_platform_trace,
+    get_registry,
+    profile_experiment,
+    use_registry,
+)
 from repro.analysis.metrics import (
     isolation_error,
     regulation_error,
@@ -151,6 +161,15 @@ __all__ = [
     "RunSpec",
     "RunSummary",
     "execute_spec",
+    # telemetry
+    "MetricsRegistry",
+    "PhaseProfiler",
+    "RunnerTelemetry",
+    "TraceEventSink",
+    "export_platform_trace",
+    "get_registry",
+    "profile_experiment",
+    "use_registry",
     # analysis
     "isolation_error",
     "regulation_error",

@@ -23,6 +23,7 @@ from repro.sim.stats import StatSet
 from repro.axi.arbiter import Arbiter, make_arbiter
 from repro.axi.port import MasterPort
 from repro.axi.txn import Transaction
+from repro.telemetry.registry import get_registry
 
 
 @dataclass(frozen=True)
@@ -82,6 +83,9 @@ class Interconnect:
         else:
             self._next_free = {None: 0}
         self._arb_scheduled_at: Optional[int] = None
+        registry = get_registry()
+        self._tm_passes = registry.counter("interconnect_arb_passes")
+        self._tm_accepted = registry.counter("interconnect_accepted")
 
     # ------------------------------------------------------------------
     # wiring
@@ -119,6 +123,7 @@ class Interconnect:
 
     def _arbitrate(self) -> None:
         self._arb_scheduled_at = None
+        self._tm_passes.inc()
         now = self.sim.now
         progressed = False
         for direction, free_at in self._next_free.items():
@@ -156,6 +161,7 @@ class Interconnect:
         txn = self.ports[winner].accept_head(want_write=chosen.is_write)
         self.stats.counter("accepted").add()
         self.stats.counter("accepted_bytes").add(txn.nbytes)
+        self._tm_accepted.inc()
         self._next_free[direction] = now + self.config.addr_cycles
         if self._memory is None:
             raise ProtocolError("no memory controller attached")

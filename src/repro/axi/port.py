@@ -24,6 +24,7 @@ from repro.sim.kernel import Phase, Simulator
 from repro.sim.stats import StatSet
 from repro.sim.trace import TraceRecord, TraceRecorder
 from repro.axi.txn import Transaction
+from repro.telemetry.registry import get_registry
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.regulation.base import BandwidthRegulator
@@ -110,8 +111,29 @@ class MasterPort:
         self._stat_denials = self.stats.counter("regulator_denials")
         self._samp_queueing = self.stats.sampler("queueing_delay")
         self._samp_latency = self.stats.sampler("latency")
+        # Process-wide telemetry handles (shared null no-ops when
+        # REPRO_TELEMETRY=off), resolved once per port like the
+        # StatSet collectors above.
+        registry = get_registry()
+        self._tm_issued = registry.counter("axi_txn_issued", master=self.name)
+        self._tm_accepted = registry.counter("axi_txn_accepted", master=self.name)
+        self._tm_completed = registry.counter(
+            "axi_txn_completed", master=self.name
+        )
+        self._tm_denials = registry.counter(
+            "regulator_throttle_stalls", master=self.name
+        )
+        self._tm_outstanding = registry.histogram(
+            "axi_outstanding_depth", master=self.name
+        )
+        #: Closed throttle intervals ``(start, end)``: spans during
+        #: which the head-of-line transaction was held back by the
+        #: regulator.  Feeds the Perfetto exporter's regulator tracks.
+        self.throttle_log: List[tuple] = []
+        self._throttle_since: Optional[int] = None
         if regulator is not None:
             regulator.bind_port(self)
+            sim.add_finalizer(self._close_throttle)
 
     # ------------------------------------------------------------------
     # wiring
@@ -133,6 +155,7 @@ class MasterPort:
         txn.mark_issued(self.sim.now)
         self._queue_for(txn).append(txn)
         self._stat_submitted.add()
+        self._tm_issued.inc()
         self._interconnect.kick()
 
     def _queue_for(self, txn: Transaction) -> Deque[Transaction]:
@@ -196,6 +219,9 @@ class MasterPort:
                 now = self.sim.now
                 if not self.regulator.may_issue(txn, now):
                     self._stat_denials.add()
+                    self._tm_denials.inc()
+                    if self._throttle_since is None:
+                        self._throttle_since = now
                     self._schedule_retry(
                         self.regulator.next_opportunity(txn, now)
                     )
@@ -218,7 +244,12 @@ class MasterPort:
         self._outstanding += 1
         if self.regulator is not None:
             self.regulator.charge(txn, self.sim.now)
+            if self._throttle_since is not None:
+                self.throttle_log.append((self._throttle_since, self.sim.now))
+                self._throttle_since = None
         self._stat_accepted.add()
+        self._tm_accepted.inc()
+        self._tm_outstanding.observe(self._outstanding)
         self._samp_queueing.record(txn.accepted - txn.issued)
         return txn
 
@@ -230,6 +261,7 @@ class MasterPort:
         now = self.sim.now
         txn.mark_completed(now)
         self._stat_completed.add()
+        self._tm_completed.inc()
         self._stat_bytes.add(txn.nbytes)
         self._samp_latency.record(txn.latency)
         # Flattened single-observer fast path: almost every port has
@@ -272,6 +304,13 @@ class MasterPort:
     # ------------------------------------------------------------------
     # regulator support
     # ------------------------------------------------------------------
+    def _close_throttle(self, now: int) -> None:
+        """Run finalizer: close a throttle interval left open at the
+        end of a run (denied and never re-accepted)."""
+        if self._throttle_since is not None and now > self._throttle_since:
+            self.throttle_log.append((self._throttle_since, now))
+            self._throttle_since = None
+
     def regulator_released(self) -> None:
         """Callback for regulators: credit became available."""
         if self.queue_depth:

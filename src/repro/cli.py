@@ -7,6 +7,8 @@ Small, scriptable front-ends over the experiment API::
     python -m repro accuracy --share 0.2
     python -m repro resources --channels 1 2 4 8
     python -m repro bound --hogs 4
+    python -m repro profile --hogs 4
+    python -m repro trace --export perfetto --out trace.json
 
 Every subcommand prints an aligned table on stdout and returns a
 process exit code (0 = success), so the CLI slots into shell
@@ -25,7 +27,7 @@ from repro.analysis.resources import ResourceModel
 from repro.analysis.sweep import format_table
 from repro.errors import ReproError
 from repro.regulation.factory import RegulatorSpec
-from repro.soc.experiment import run_experiment
+from repro.soc.experiment import DEFAULT_MAX_CYCLES, run_experiment
 from repro.soc.presets import zcu102, zcu102_dram, zcu102_interconnect
 
 PEAK = 16.0
@@ -198,6 +200,59 @@ def cmd_scenario(args) -> int:
     return 0
 
 
+def cmd_profile(args) -> int:
+    from repro.soc.scenarios import SCENARIOS, make_scenario
+    from repro.telemetry import profile_experiment
+
+    spec = _spec_from_args(args)
+    if args.experiment in SCENARIOS:
+        scenario = SCENARIOS[args.experiment]
+        regulators = {}
+        if spec is not None:
+            regulators = {
+                a.name: spec for a in scenario.actors if not a.critical
+            }
+        config = make_scenario(args.experiment, regulators=regulators)
+    elif args.experiment == "zcu102":
+        config = zcu102(
+            num_accels=args.hogs, cpu_work=args.work, accel_regulator=spec
+        )
+    else:
+        print(f"error: unknown experiment {args.experiment!r}", file=sys.stderr)
+        return 2
+    result, profiler = profile_experiment(config, max_cycles=args.max_cycles)
+    print(profiler.format_table(limit=args.limit))
+    print(
+        f"\n{result.elapsed} cycles simulated, "
+        f"{profiler.events} events dispatched, "
+        f"{profiler.wall_seconds:.3f}s wall"
+    )
+    return 0
+
+
+def cmd_trace(args) -> int:
+    from dataclasses import replace
+
+    from repro.telemetry import export_platform_trace
+
+    spec = _spec_from_args(args)
+    config = zcu102(
+        num_accels=args.hogs, cpu_work=args.work, accel_regulator=spec
+    )
+    config = replace(
+        config, trace_masters=tuple(m.name for m in config.masters)
+    )
+    result = run_experiment(config, max_cycles=args.max_cycles)
+    sink = export_platform_trace(
+        result.platform, path=args.out, ring_buffer=args.ring_buffer
+    )
+    print(
+        f"wrote {len(sink)} {args.export} events "
+        f"({sink.dropped} dropped) to {args.out}"
+    )
+    return 0
+
+
 def cmd_bound(args) -> int:
     dram = zcu102_dram()
     bound = worst_case_read_latency(
@@ -285,6 +340,45 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--work-conserving", action="store_true")
     p.add_argument("--reclaim", action="store_true")
     p.set_defaults(fn=cmd_scenario)
+
+    p = sub.add_parser(
+        "profile", help="per-component time/event profile of one run"
+    )
+    p.add_argument("experiment", nargs="?", default="zcu102",
+                   help="'zcu102' or a scenario name (adas, ...)")
+    p.add_argument("--kind", default="tightly_coupled",
+                   choices=["none", "tightly_coupled", "memguard"])
+    p.add_argument("--share", type=float, default=0.1)
+    p.add_argument("--window", type=int, default=256)
+    p.add_argument("--period", type=int, default=100_000)
+    p.add_argument("--hogs", type=int, default=4)
+    p.add_argument("--work", type=int, default=3000)
+    p.add_argument("--max-cycles", type=int, default=None)
+    p.add_argument("--limit", type=int, default=None,
+                   help="show only the top N handlers")
+    p.add_argument("--work-conserving", action="store_true")
+    p.add_argument("--reclaim", action="store_true")
+    p.set_defaults(fn=cmd_profile)
+
+    p = sub.add_parser(
+        "trace", help="export a transaction-level trace of one run"
+    )
+    p.add_argument("--export", default="perfetto", choices=["perfetto"],
+                   help="trace format (Chrome trace-event JSON)")
+    p.add_argument("--out", default="trace.json")
+    p.add_argument("--ring-buffer", type=int, default=None,
+                   help="keep only the most recent N slices")
+    p.add_argument("--kind", default="tightly_coupled",
+                   choices=["none", "tightly_coupled", "memguard"])
+    p.add_argument("--share", type=float, default=0.1)
+    p.add_argument("--window", type=int, default=256)
+    p.add_argument("--period", type=int, default=100_000)
+    p.add_argument("--hogs", type=int, default=2)
+    p.add_argument("--work", type=int, default=1000)
+    p.add_argument("--max-cycles", type=int, default=DEFAULT_MAX_CYCLES)
+    p.add_argument("--work-conserving", action="store_true")
+    p.add_argument("--reclaim", action="store_true")
+    p.set_defaults(fn=cmd_trace)
 
     p = sub.add_parser("report", help="full scenario report")
     p.add_argument("--kind", default="tightly_coupled",

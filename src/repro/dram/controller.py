@@ -31,6 +31,7 @@ from repro.axi.txn import Transaction
 from repro.dram.address_map import AddressMap
 from repro.dram.bank import Bank
 from repro.dram.timing import DramTiming
+from repro.telemetry.registry import get_registry
 
 
 @dataclass(frozen=True)
@@ -138,6 +139,19 @@ class DramController:
         self._busy_cycles = 0
         self._buffered_writes = 0
         self._sched_scheduled_at: Optional[int] = None
+        # Process-wide telemetry handles (null no-ops when disabled),
+        # resolved once per controller; _service updates the matching
+        # kind counter through this dict without a registry lookup.
+        registry = get_registry()
+        self._tm_row = {
+            kind: registry.counter("dram_row_access", kind=kind)
+            for kind in ("hit", "miss", "conflict")
+        }
+        self._tm_serviced = registry.counter("dram_serviced")
+        self._tm_bytes = registry.counter("dram_bytes")
+        self._tm_refreshes = registry.counter("dram_refreshes")
+        self._tm_turnarounds = registry.counter("dram_turnarounds")
+        self._tm_queue_depth = registry.histogram("dram_queue_depth")
         if self.config.refresh_enabled and self.timing.t_refi > 0:
             self.sim.schedule(
                 self.timing.t_refi, self._refresh, priority=Phase.MEMORY,
@@ -169,6 +183,7 @@ class DramController:
         )
         self.stats.counter("enqueued").add()
         self.stats.sampler("queue_depth").record(len(self._queue))
+        self._tm_queue_depth.observe(len(self._queue))
         if posted:
             # The write buffer acknowledges immediately; the drain to
             # the device stays queued.
@@ -250,6 +265,7 @@ class DramController:
         bank = self.banks[entry.bank]
         kind = bank.classify(entry.row)
         self.stats.counter(f"row_{kind}").add()
+        self._tm_row[kind].inc()
 
         cmd_start = max(now, bank.ready_at())
         data_ready = bank.perform_access(entry.row, cmd_start, self.timing)
@@ -260,6 +276,7 @@ class DramController:
         if self._last_was_write is not None and self._last_was_write != txn.is_write:
             bus_start += self.timing.rw_turnaround
             self.stats.counter("turnarounds").add()
+            self._tm_turnarounds.inc()
         data_cycles = self.timing.data_cycles(txn.burst_len)
         bus_end = bus_start + data_cycles
 
@@ -269,6 +286,8 @@ class DramController:
         self._busy_cycles += data_cycles
         self.stats.counter("serviced").add()
         self.stats.counter("bytes").add(txn.nbytes)
+        self._tm_serviced.inc()
+        self._tm_bytes.inc(txn.nbytes)
         self.stats.sampler("service_time").record(bus_end - entry.arrival)
 
         if entry.posted:
@@ -304,6 +323,7 @@ class DramController:
         for bank in self.banks:
             bank._ready_at = max(bank.ready_at(), refresh_end)
         self.stats.counter("refreshes").add()
+        self._tm_refreshes.inc()
         self.sim.schedule(
             self.timing.t_refi, self._refresh, priority=Phase.MEMORY, daemon=True
         )

@@ -37,6 +37,7 @@ from repro.sim.kernel import Phase, Simulator
 from repro.axi.port import MasterPort
 from repro.axi.txn import Transaction
 from repro.regulation.base import BandwidthRegulator
+from repro.telemetry.registry import NULL_COUNTER, get_registry
 
 
 class ReclaimPool:
@@ -154,6 +155,7 @@ class MemGuardRegulator(BandwidthRegulator):
         self.reconfig_count = 0
         self.reclaimed_bytes = 0
         self._period_start = 0
+        self._tm_interrupts = NULL_COUNTER
 
     # ------------------------------------------------------------------
     # wiring
@@ -161,6 +163,9 @@ class MemGuardRegulator(BandwidthRegulator):
     def _on_bind(self, port: MasterPort) -> None:
         # The PMU counts actual data-bus traffic of this master.
         port.beat_observers.append(self._pmu_observe)
+        self._tm_interrupts = get_registry().counter(
+            "memguard_interrupts", master=port.name
+        )
         self.sim.schedule(
             self.config.period_cycles, self._period_tick,
             priority=Phase.REGULATOR, daemon=True,
@@ -190,6 +195,7 @@ class MemGuardRegulator(BandwidthRegulator):
     def _overflow_interrupt(self) -> None:
         self._interrupt_pending = False
         self.interrupt_count += 1
+        self._tm_interrupts.inc()
         self.overhead_cycles += self.config.interrupt_overhead
         # The period may have rolled over while the IRQ was in flight;
         # in that case the budget was reloaded and no stall happens.
@@ -221,6 +227,7 @@ class MemGuardRegulator(BandwidthRegulator):
             self._pending_budget = None
             self.reconfig_count += 1
         self.tick_count += 1
+        self._tm_window_resets.inc()
         self.overhead_cycles += self.config.tick_overhead
         self.sim.schedule(
             self.config.period_cycles, self._period_tick,

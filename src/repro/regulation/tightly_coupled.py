@@ -45,6 +45,7 @@ from repro.axi.txn import Transaction
 from repro.monitor.window import WindowedBandwidthMonitor
 from repro.regulation.base import BandwidthRegulator
 from repro.regulation.token_bucket import TokenBucket
+from repro.telemetry.registry import NULL_COUNTER, NULL_GAUGE, get_registry
 
 
 @dataclass(frozen=True)
@@ -164,6 +165,9 @@ class TightlyCoupledRegulator(BandwidthRegulator):
         self._inject_txn_id: Optional[int] = None
         self.injected_bytes = 0
         self.injected_transactions = 0
+        self._tm_injections = NULL_COUNTER
+        self._tm_budget = NULL_GAUGE
+        self._resets_reported = 0
 
     # ------------------------------------------------------------------
     # wiring
@@ -172,6 +176,24 @@ class TightlyCoupledRegulator(BandwidthRegulator):
         # The IP's monitor half: per-window byte counts of the very
         # traffic it regulates.
         self.monitor = WindowedBandwidthMonitor(port, self.config.window_cycles)
+        registry = get_registry()
+        self._tm_injections = registry.counter(
+            "regulator_injections", master=port.name
+        )
+        self._tm_budget = registry.gauge(
+            "regulator_budget_bytes", master=port.name
+        )
+        self._tm_budget.set(self._budget_bytes)
+        # Window boundaries are lazy (applied inside the token bucket
+        # when time advances), so the reset counter is settled at run
+        # end instead of being pushed per boundary.
+        self.sim.add_finalizer(self._report_window_resets)
+
+    def _report_window_resets(self, _now: int) -> None:
+        delta = self._bucket.refills - self._resets_reported
+        if delta > 0:
+            self._tm_window_resets.inc(delta)
+            self._resets_reported = self._bucket.refills
 
     # ------------------------------------------------------------------
     # admission
@@ -241,6 +263,7 @@ class TightlyCoupledRegulator(BandwidthRegulator):
             self._inject_txn_id = None
             self.injected_bytes += txn.nbytes
             self.injected_transactions += 1
+            self._tm_injections.inc()
             return
         # Signed credit counter: oversize or overdrawn bursts leave a
         # debt that future window refills repay first.
@@ -292,6 +315,7 @@ class TightlyCoupledRegulator(BandwidthRegulator):
                 self.sim.now, capacity=capacity, refill_amount=budget_bytes
             )
             self.reconfig_count += 1
+            self._tm_budget.set(budget_bytes)
             self._release()
 
         self.sim.schedule_at(effective_at, apply, priority=Phase.CONTROL)

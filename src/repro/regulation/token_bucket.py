@@ -56,6 +56,9 @@ class TokenBucket:
         self.refill_period = refill_period
         self._tokens = capacity if initial is None else initial
         self._last_refill = start
+        #: Whole refill periods applied so far (telemetry: each period
+        #: boundary is one "window reset" of the owning regulator).
+        self.refills = 0
 
     # ------------------------------------------------------------------
     # time advance
@@ -71,6 +74,7 @@ class TokenBucket:
                 self.capacity, self._tokens + periods * self.refill_amount
             )
             self._last_refill += periods * self.refill_period
+            self.refills += periods
 
     # ------------------------------------------------------------------
     # queries / operations

@@ -26,6 +26,9 @@ from typing import Optional
 
 from repro.runner.spec import RunSpec
 from repro.runner.summary import RunSummary
+from repro.telemetry.log import get_logger
+
+_log = get_logger(__name__)
 
 #: Bump when the cache payload layout changes; old entries are then
 #: silently treated as misses and rewritten.
@@ -44,6 +47,12 @@ class ResultCache:
 
     def __init__(self, root: str = DEFAULT_CACHE_DIR) -> None:
         self.root = root
+        #: Lifetime lookup accounting (cumulative across batches; a
+        #: poisoned entry counts as both ``poisoned`` and ``misses``
+        #: because the caller recomputes it).
+        self.hits = 0
+        self.misses = 0
+        self.poisoned = 0
 
     @classmethod
     def from_env(cls) -> Optional["ResultCache"]:
@@ -81,12 +90,18 @@ class ResultCache:
                 raise ValueError(f"schema {payload['schema']!r}")
             if payload["spec_hash"] != spec.content_hash():
                 raise ValueError("spec hash mismatch")
-            return RunSummary.from_dict(payload["summary"])
+            summary = RunSummary.from_dict(payload["summary"])
         except FileNotFoundError:
+            self.misses += 1
             return None
-        except Exception:
+        except Exception as exc:
+            self.poisoned += 1
+            self.misses += 1
+            _log.warning("discarding poisoned cache entry %s (%s)", path, exc)
             self._discard(path)
             return None
+        self.hits += 1
+        return summary
 
     def put(self, spec: RunSpec, summary: RunSummary) -> str:
         """Atomically store ``summary`` under ``spec``'s hash."""

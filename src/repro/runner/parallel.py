@@ -20,8 +20,9 @@ semantics of a serial loop:
 from __future__ import annotations
 
 import os
+import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.errors import ConfigError
 from repro.monitor.window import WindowedBandwidthMonitor
@@ -30,9 +31,12 @@ from repro.runner.spec import RunSpec
 from repro.runner.summary import RunSummary
 from repro.soc.experiment import PlatformResult
 from repro.soc.platform import Platform
+from repro.telemetry.log import get_logger
 
 #: Environment override for the worker count (0/unset = auto).
 JOBS_ENV = "REPRO_JOBS"
+
+_log = get_logger(__name__)
 
 
 def execute_spec(spec: RunSpec) -> RunSummary:
@@ -68,6 +72,18 @@ def execute_spec(spec: RunSpec) -> RunSummary:
     )
 
 
+def _timed_execute(spec: RunSpec) -> Tuple[RunSummary, float]:
+    """Run one spec and measure its wall time.
+
+    Wraps (rather than changes) :func:`execute_spec` so the measured
+    entry point used by the runner stays byte-identical to the public
+    one; the per-spec seconds feed the runner telemetry report.
+    """
+    start = time.perf_counter()
+    summary = execute_spec(spec)
+    return summary, time.perf_counter() - start
+
+
 def default_workers() -> int:
     """Worker count: ``REPRO_JOBS`` if set and positive, else CPU count."""
     value = os.environ.get(JOBS_ENV, "").strip()
@@ -93,6 +109,11 @@ class RunnerStats:
         executed: Simulations actually performed.
         mode: ``"parallel"`` or ``"serial"`` for the executed part
             (``"serial"`` when nothing ran in a pool).
+        workers: Effective worker count the batch was sized for.
+        wall_seconds: End-to-end wall time of the batch (cache
+            lookups included).
+        spec_seconds: Per-executed-spec simulation seconds, in the
+            order the unique work list ran.
     """
 
     total: int = 0
@@ -100,6 +121,9 @@ class RunnerStats:
     deduped: int = 0
     executed: int = 0
     mode: str = "serial"
+    workers: int = 1
+    wall_seconds: float = 0.0
+    spec_seconds: List[float] = field(default_factory=list)
 
 
 class ParallelRunner:
@@ -141,10 +165,11 @@ class ParallelRunner:
         Identical specs (equal content hashes) are simulated once and
         their summary shared; cached specs are not simulated at all.
         """
-        stats = RunnerStats(total=len(specs))
+        stats = RunnerStats(total=len(specs), workers=self.max_workers)
         self.last_stats = stats
         if not specs:
             return []
+        batch_start = time.perf_counter()
 
         by_hash: Dict[str, RunSummary] = {}
         hashes = [spec.content_hash() for spec in specs]
@@ -177,6 +202,7 @@ class ParallelRunner:
                     self.cache.put(spec, summary)
             stats.executed = len(pending)
 
+        stats.wall_seconds = time.perf_counter() - batch_start
         return [by_hash[digest] for digest in hashes]
 
     def _execute(
@@ -187,9 +213,17 @@ class ParallelRunner:
             try:
                 return self._execute_pool(specs, workers, stats)
             except _PoolUnavailable:
-                pass
+                _log.info(
+                    "process pool unavailable; running %d specs serially",
+                    len(specs),
+                )
         stats.mode = "serial"
-        return [execute_spec(spec) for spec in specs]
+        results: List[RunSummary] = []
+        for spec in specs:
+            summary, seconds = _timed_execute(spec)
+            stats.spec_seconds.append(seconds)
+            results.append(summary)
+        return results
 
     @staticmethod
     def _execute_pool(
@@ -202,14 +236,18 @@ class ParallelRunner:
             raise _PoolUnavailable() from exc
         try:
             with ProcessPoolExecutor(max_workers=workers) as pool:
-                futures = [pool.submit(execute_spec, spec) for spec in specs]
-                results = [f.result() for f in futures]
+                futures = [pool.submit(_timed_execute, spec) for spec in specs]
+                pairs = [f.result() for f in futures]
         except (OSError, PermissionError, BrokenProcessPool) as exc:
             # Restricted environments (no /dev/shm, seccomp'd fork,
             # single-core cgroups) surface here; the batch still
             # completes, just in-process.
             raise _PoolUnavailable() from exc
         stats.mode = "parallel"
+        results = []
+        for summary, seconds in pairs:
+            stats.spec_seconds.append(seconds)
+            results.append(summary)
         return results
 
 

@@ -100,6 +100,14 @@ class CalendarQueue(EventPoolMixin):
         self._live_foreground = 0
         self._cancelled_pending = 0
         self._pool: List[Event] = []
+        # Telemetry: cold-path counters only (overflow pushes,
+        # migrations, rewinds, compactions).  The ring push/pop fast
+        # paths carry no instrumentation; ring-tier hits are derived
+        # by subtraction in :meth:`stats`.
+        self._overflow_pushes = 0
+        self._migrations = 0
+        self._rewinds = 0
+        self._compactions = 0
 
     def __len__(self) -> int:
         return self._ring_count + len(self._overflow)
@@ -151,6 +159,7 @@ class CalendarQueue(EventPoolMixin):
             self._ring_count += 1
         else:
             heapq.heappush(self._overflow, (time, priority, seq, event))
+            self._overflow_pushes += 1
         if not daemon:
             self._live_foreground += 1
         return event
@@ -172,6 +181,7 @@ class CalendarQueue(EventPoolMixin):
         self._front = None
         self._ring_count = 0
         self._occupied = 0
+        self._rewinds += 1
         limit = time + _BUCKETS
         ring = self._ring
         overflow = self._overflow
@@ -197,6 +207,7 @@ class CalendarQueue(EventPoolMixin):
             index = time & _MASK
             ring[index].append((priority, seq, event))
             self._ring_count += 1
+            self._migrations += 1
             self._occupied |= _BIT[index]
 
     # ------------------------------------------------------------------
@@ -374,3 +385,31 @@ class CalendarQueue(EventPoolMixin):
         heapq.heapify(overflow)
         self._overflow = overflow
         self._cancelled_pending = 0
+        self._compactions += 1
+
+    # ------------------------------------------------------------------
+    # telemetry
+    # ------------------------------------------------------------------
+    def stats(self) -> dict:
+        """Pull-style queue statistics (cold-path counters + state).
+
+        ``ring_pushes`` is derived by subtraction -- the ring tier
+        (the hot path) carries no instrumentation of its own.
+        """
+        return {
+            "backend": "calendar",
+            "pending": self._ring_count + len(self._overflow),
+            "live_foreground": self._live_foreground,
+            "cancelled_pending": self._cancelled_pending,
+            "events_scheduled": self._next_seq,
+            "ring_pushes": self._next_seq - self._overflow_pushes,
+            "overflow_pushes": self._overflow_pushes,
+            "overflow_pending": len(self._overflow),
+            "migrations": self._migrations,
+            "rewinds": self._rewinds,
+            "pool_allocations": self._pool_allocations,
+            "pool_reuses": self._next_seq - self._pool_allocations,
+            "pool_size": len(self._pool),
+            "recycle_leaks": self._recycle_leaks,
+            "compactions": self._compactions,
+        }

@@ -149,6 +149,11 @@ class EventPoolMixin:
     """
 
     _pool: List[Event]
+    # Telemetry (cold-path only: the pool-hit branch of ``_acquire``
+    # and the successful-recycle path run once per event and stay
+    # untouched).  Class-level zeros; incremented as instance attrs.
+    _pool_allocations = 0
+    _recycle_leaks = 0
 
     def _acquire(
         self,
@@ -169,6 +174,7 @@ class EventPoolMixin:
             event.daemon = daemon
         else:
             event = Event(time, priority, seq, callback, daemon=daemon)
+            self._pool_allocations += 1
         event._queue = self
         return event
 
@@ -180,6 +186,7 @@ class EventPoolMixin:
         cancelled -- by stale user code after reuse.
         """
         if getrefcount(event) != _RECYCLE_REFS:
+            self._recycle_leaks += 1
             return
         event.callback = None  # release the closure promptly
         event.cancelled = False
@@ -207,6 +214,7 @@ class EventQueue(EventPoolMixin):
         self._live_foreground = 0
         self._cancelled_in_heap = 0
         self._pool = []
+        self._compactions = 0
 
     def __len__(self) -> int:
         return len(self._heap)
@@ -263,6 +271,7 @@ class EventQueue(EventPoolMixin):
         self._heap = [entry for entry in self._heap if not entry[3].cancelled]
         heapq.heapify(self._heap)
         self._cancelled_in_heap = 0
+        self._compactions += 1
 
     def _detach(self, event: Event) -> Event:
         """Release a popped event from queue bookkeeping."""
@@ -328,3 +337,23 @@ class EventQueue(EventPoolMixin):
         self._heap.clear()
         self._live_foreground = 0
         self._cancelled_in_heap = 0
+
+    def stats(self) -> dict:
+        """Pull-style queue statistics (cold-path counters + state).
+
+        The hot push/pop loops carry no instrumentation; derived
+        figures (pool reuses) come from subtracting the cold-path
+        allocation count from the total scheduled count.
+        """
+        return {
+            "backend": "heap",
+            "pending": len(self._heap),
+            "live_foreground": self._live_foreground,
+            "cancelled_pending": self._cancelled_in_heap,
+            "events_scheduled": self._next_seq,
+            "pool_allocations": self._pool_allocations,
+            "pool_reuses": self._next_seq - self._pool_allocations,
+            "pool_size": len(self._pool),
+            "recycle_leaks": self._recycle_leaks,
+            "compactions": self._compactions,
+        }

@@ -105,6 +105,13 @@ class Simulator:
         self._finalizers: List[Callable[[int], None]] = []
         #: Free-form registry so components can find each other by name.
         self.registry: Dict[str, Any] = {}
+        #: Total events dispatched by this simulator (run() and step()).
+        #: Accumulated from a loop-local counter at run exit, so the
+        #: per-event dispatch cost is one local integer add.
+        self.events_dispatched = 0
+        #: Attached :class:`repro.telemetry.profiler.PhaseProfiler`
+        #: (None = the unprofiled fast dispatch loop runs).
+        self._profiler: Optional[Any] = None
 
     # ------------------------------------------------------------------
     # time
@@ -177,6 +184,8 @@ class Simulator:
         """
         if self._running:
             raise SimulationError("run() re-entered from within an event callback")
+        if self._profiler is not None:
+            return self._run_profiled(until)
         self._running = True
         self._stop_requested = False
         queue = self._queue
@@ -187,6 +196,7 @@ class Simulator:
         pop = queue.pop
         pop_if_at = queue.pop_if_at
         recycle = queue.recycle
+        dispatched = 0
         try:
             while True:
                 if self._stop_requested:
@@ -205,6 +215,7 @@ class Simulator:
                 self._now = event.time
                 event.callback()
                 recycle(event)
+                dispatched += 1
                 # Same-cycle fast path: drain the rest of this cycle
                 # with single-scan pops, skipping the redundant
                 # peek/horizon checks (the horizon can only be crossed
@@ -215,12 +226,89 @@ class Simulator:
                         break
                     event.callback()
                     recycle(event)
+                    dispatched += 1
         finally:
             self._running = False
+            self.events_dispatched += dispatched
         for fn in self._finalizers:
             fn(self._now)
         self._finished = True
         return self._now
+
+    def _run_profiled(self, until: Optional[int] = None) -> int:
+        """Instrumented twin of :meth:`run` (profiler attached).
+
+        Brackets every callback with two clock reads and feeds the
+        attached profiler; kept as a separate loop so detached runs
+        pay nothing for the capability.
+        """
+        profiler = self._profiler
+        clock = profiler.clock
+        observe = profiler.observe
+        self._running = True
+        self._stop_requested = False
+        queue = self._queue
+        peek_time = queue.peek_time
+        pop = queue.pop
+        pop_if_at = queue.pop_if_at
+        recycle = queue.recycle
+        dispatched = 0
+        wall_start = clock()
+        try:
+            while True:
+                if self._stop_requested:
+                    break
+                next_time = peek_time()
+                if next_time is None or queue.live_foreground == 0:
+                    if until is not None and until > self._now:
+                        self._now = until
+                    break
+                if until is not None and next_time > until:
+                    self._now = until
+                    break
+                event = pop()
+                self._now = event.time
+                callback = event.callback
+                start = clock()
+                callback()
+                observe(callback, clock() - start)
+                recycle(event)
+                dispatched += 1
+                while not self._stop_requested and queue.live_foreground > 0:
+                    event = pop_if_at(self._now)
+                    if event is None:
+                        break
+                    callback = event.callback
+                    start = clock()
+                    callback()
+                    observe(callback, clock() - start)
+                    recycle(event)
+                    dispatched += 1
+        finally:
+            self._running = False
+            self.events_dispatched += dispatched
+            profiler.wall_seconds += clock() - wall_start
+        for fn in self._finalizers:
+            fn(self._now)
+        self._finished = True
+        return self._now
+
+    def kernel_stats(self) -> Dict[str, Any]:
+        """Snapshot of kernel and queue telemetry (pull-style).
+
+        Combines the simulator's dispatch count with the scheduler
+        backend's cold-path counters (see ``EventQueue.stats`` /
+        ``CalendarQueue.stats``); collecting it costs nothing until
+        called, so it is always available -- ``REPRO_TELEMETRY``
+        gates only the push-style registry, not this.
+        """
+        stats: Dict[str, Any] = {
+            "scheduler": self.scheduler,
+            "now": self._now,
+            "events_dispatched": self.events_dispatched,
+        }
+        stats.update(self._queue.stats())
+        return stats
 
     def request_stop(self) -> None:
         """Ask a running :meth:`run` to return after the current event.
@@ -247,6 +335,7 @@ class Simulator:
         self._now = time
         event.callback()
         queue.recycle(event)
+        self.events_dispatched += 1
         return time
 
     @property

@@ -50,6 +50,19 @@ class TraceRecord:
         return self.accepted - self.created
 
 
+def _parse_bool(value: str) -> bool:
+    """Parse the ``is_write`` CSV column.
+
+    :meth:`TraceRecorder.write_csv` emits ``0``/``1``, but traces
+    written by other tools (or a ``str(bool)``-style dump) carry
+    ``True``/``False`` -- accept both rather than silently mis-parsing.
+    """
+    text = value.strip().lower()
+    if text in ("true", "false"):
+        return text == "true"
+    return bool(int(text))
+
+
 class TraceRecorder:
     """Accumulates trace records, optionally filtered by master name."""
 
@@ -113,7 +126,7 @@ class TraceRecorder:
                     TraceRecord(
                         master=row["master"],
                         txn_id=int(row["txn_id"]),
-                        is_write=bool(int(row["is_write"])),
+                        is_write=_parse_bool(row["is_write"]),
                         addr=int(row["addr"]),
                         nbytes=int(row["nbytes"]),
                         created=int(row["created"]),

@@ -27,8 +27,11 @@ from repro.qos.manager import QosManager
 from repro.regulation.base import BandwidthRegulator
 from repro.regulation.factory import RegulatorSpec
 from repro.soc.provision import RegulatorProvisioner
+from repro.telemetry.log import get_logger
 from repro.traffic.master import Master
 from repro.traffic.workloads import make_workload
+
+_log = get_logger(__name__)
 
 
 @dataclass(frozen=True)
@@ -138,6 +141,11 @@ class Platform:
             self._build_master(spec)
         if self.prem_controller is not None:
             self._wire_prem_protection()
+        _log.debug(
+            "platform: %d masters, %d regulated, tracing %s",
+            len(self.ports), len(self.regulators),
+            list(config.trace_masters) or "off",
+        )
 
     # ------------------------------------------------------------------
     # shared regulator resources (delegated to the provisioner)

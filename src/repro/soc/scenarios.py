@@ -22,8 +22,11 @@ from typing import Callable, Dict, List, Optional, Sequence
 from repro.errors import ConfigError
 from repro.regulation.factory import RegulatorSpec
 from repro.soc.platform import MasterSpec, PlatformConfig
+from repro.telemetry.log import get_logger
 
 MB = 1 << 20
+
+_log = get_logger(__name__)
 
 
 @dataclass(frozen=True)
@@ -153,4 +156,8 @@ def make_scenario(
             )
         )
         base += actor.extent
+    _log.debug(
+        "scenario %r: %d actors, %d regulated, seed %d",
+        name, len(masters), len(regulators), seed,
+    )
     return PlatformConfig(masters=tuple(masters), seed=seed)

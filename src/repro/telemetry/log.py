@@ -1,0 +1,79 @@
+"""Shared logging helper for the ``repro`` package.
+
+All package code obtains its logger from :func:`get_logger`, which
+parents everything under the ``"repro"`` logger and configures that
+root exactly once: a stderr handler with a compact format and a level
+taken from ``REPRO_LOG_LEVEL`` (default ``WARNING``, so the library
+is silent in normal use).  Applications embedding the library can
+call :func:`get_logger` with ``configure=False`` -- or configure the
+``"repro"`` logger themselves first -- and the helper will not touch
+handlers at all.
+"""
+
+from __future__ import annotations
+
+import logging
+import os
+from typing import Optional
+
+#: Environment variable controlling the package log level.
+LOG_LEVEL_ENV = "REPRO_LOG_LEVEL"
+
+#: Root logger name for the whole package.
+ROOT_LOGGER = "repro"
+
+_DEFAULT_LEVEL = "WARNING"
+
+_configured = False
+
+
+def resolve_level(name: Optional[str] = None) -> int:
+    """Map a level name (argument > ``REPRO_LOG_LEVEL`` > WARNING) to int.
+
+    Unknown names fall back to WARNING rather than raising: a typo in
+    an environment knob should never take down a simulation.
+    """
+    if name is None:
+        name = os.environ.get(LOG_LEVEL_ENV, "") or _DEFAULT_LEVEL
+    value = logging.getLevelName(name.strip().upper())
+    if not isinstance(value, int):
+        value = logging.WARNING
+    return value
+
+
+def configure(level: Optional[str] = None, force: bool = False) -> logging.Logger:
+    """Attach the package's stderr handler to the ``repro`` root logger.
+
+    Idempotent; respects handlers installed by the host application
+    unless ``force`` re-applies the level anyway.
+    """
+    global _configured
+    root = logging.getLogger(ROOT_LOGGER)
+    if _configured and not force:
+        return root
+    if not root.handlers:
+        handler = logging.StreamHandler()
+        handler.setFormatter(
+            logging.Formatter("%(levelname)s %(name)s: %(message)s")
+        )
+        root.addHandler(handler)
+        root.propagate = False
+    root.setLevel(resolve_level(level))
+    _configured = True
+    return root
+
+
+def get_logger(name: str = ROOT_LOGGER, configure_root: bool = True) -> logging.Logger:
+    """The module logger for ``name``, parented under ``repro``.
+
+    Args:
+        name: Usually the caller's ``__name__``; names outside the
+            ``repro`` namespace are re-parented under it.
+        configure_root: When True (default), lazily install the
+            package stderr handler honouring ``REPRO_LOG_LEVEL``.
+    """
+    if configure_root:
+        configure()
+    if name != ROOT_LOGGER and not name.startswith(ROOT_LOGGER + "."):
+        name = f"{ROOT_LOGGER}.{name}"
+    return logging.getLogger(name)

@@ -1,0 +1,214 @@
+"""Chrome/Perfetto trace-event export.
+
+Turns the simulator's transaction records
+(:class:`~repro.sim.trace.TraceRecord`) and regulator throttle
+intervals into the Chrome trace-event JSON format, which
+``ui.perfetto.dev`` (and ``chrome://tracing``) open directly.
+
+Mapping:
+
+* Each **master** becomes one track (``tid``); each completed
+  transaction contributes two complete-duration slices (``"ph": "X"``):
+  a *wait* slice from creation to interconnect acceptance and an
+  *xfer* slice from acceptance to response.  One simulated cycle maps
+  to one microsecond, so the timeline reads directly in cycles.
+* Each **regulator** gets a companion track carrying *throttle*
+  slices -- the intervals during which the port's head transaction
+  was being denied (:attr:`~repro.axi.port.MasterPort.throttle_log`).
+* Thread-name metadata events (``"ph": "M"``) label the tracks.
+
+For long runs, construct the sink with ``ring_buffer=N`` to keep only
+the most recent ``N`` slices (oldest dropped first), bounding memory
+like a hardware trace buffer.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import deque
+from typing import Deque, Dict, Iterable, List, Optional, Tuple, Union
+
+from repro.sim.trace import TraceRecord
+
+JsonEvent = Dict[str, object]
+
+#: Process id used for all simulator tracks.
+TRACE_PID = 1
+
+
+class TraceEventSink:
+    """Accumulates Chrome trace events, optionally ring-buffered.
+
+    Args:
+        ring_buffer: Keep at most this many duration events (oldest
+            evicted first); ``None`` keeps everything.
+    """
+
+    def __init__(self, ring_buffer: Optional[int] = None) -> None:
+        if ring_buffer is not None and ring_buffer <= 0:
+            ring_buffer = 1
+        self._events: Union[List[JsonEvent], Deque[JsonEvent]] = (
+            deque(maxlen=ring_buffer) if ring_buffer is not None else []
+        )
+        self.dropped = 0
+        self._ring = ring_buffer
+        self._tids: Dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+    # track management
+    # ------------------------------------------------------------------
+    def tid_for(self, track: str) -> int:
+        """Stable thread id for a named track (allocated on first use)."""
+        tid = self._tids.get(track)
+        if tid is None:
+            tid = self._tids[track] = len(self._tids) + 1
+        return tid
+
+    # ------------------------------------------------------------------
+    # event emission
+    # ------------------------------------------------------------------
+    def add_slice(
+        self,
+        track: str,
+        name: str,
+        start: int,
+        duration: int,
+        args: Optional[Dict[str, object]] = None,
+    ) -> None:
+        """Add one complete-duration event (``ph: "X"``).
+
+        ``start``/``duration`` are in simulated cycles; exported
+        timestamps use 1 cycle = 1 microsecond.
+        """
+        event: JsonEvent = {
+            "name": name,
+            "ph": "X",
+            "ts": start,
+            "dur": max(duration, 1),
+            "pid": TRACE_PID,
+            "tid": self.tid_for(track),
+            "cat": "sim",
+        }
+        if args:
+            event["args"] = args
+        if self._ring is not None and len(self._events) == self._ring:
+            self.dropped += 1
+        self._events.append(event)
+
+    def add_transaction(self, record: TraceRecord) -> None:
+        """Two slices per transaction: queueing wait, then transfer."""
+        kind = "write" if record.is_write else "read"
+        args = {
+            "txn_id": record.txn_id,
+            "addr": hex(record.addr),
+            "nbytes": record.nbytes,
+        }
+        wait = record.accepted - record.created
+        if wait > 0:
+            self.add_slice(
+                record.master, f"wait {kind}", record.created, wait, args
+            )
+        self.add_slice(
+            record.master,
+            f"{kind} {record.nbytes}B",
+            record.accepted,
+            record.completed - record.accepted,
+            args,
+        )
+
+    def add_throttle(
+        self, regulator_track: str, start: int, end: int,
+        args: Optional[Dict[str, object]] = None,
+    ) -> None:
+        """One regulator throttle interval as a slice."""
+        self.add_slice(regulator_track, "throttle", start, end - start, args)
+
+    def add_transactions(self, records: Iterable[TraceRecord]) -> None:
+        for record in records:
+            self.add_transaction(record)
+
+    def add_throttle_log(
+        self, master: str, intervals: Iterable[Tuple[int, int]]
+    ) -> None:
+        """All throttle intervals of one master's regulator."""
+        track = f"{master}/regulator"
+        for start, end in intervals:
+            self.add_throttle(track, start, end, {"master": master})
+
+    # ------------------------------------------------------------------
+    # export
+    # ------------------------------------------------------------------
+    def _metadata(self) -> List[JsonEvent]:
+        meta: List[JsonEvent] = [
+            {
+                "name": "process_name",
+                "ph": "M",
+                "pid": TRACE_PID,
+                "args": {"name": "repro-sim"},
+            }
+        ]
+        for track, tid in sorted(self._tids.items(), key=lambda kv: kv[1]):
+            meta.append(
+                {
+                    "name": "thread_name",
+                    "ph": "M",
+                    "pid": TRACE_PID,
+                    "tid": tid,
+                    "args": {"name": track},
+                }
+            )
+            meta.append(
+                {
+                    "name": "thread_sort_index",
+                    "ph": "M",
+                    "pid": TRACE_PID,
+                    "tid": tid,
+                    "args": {"sort_index": tid},
+                }
+            )
+        return meta
+
+    def to_dict(self) -> Dict[str, object]:
+        """The trace as a Chrome trace-event JSON object."""
+        return {
+            "traceEvents": self._metadata() + list(self._events),
+            "displayTimeUnit": "ms",
+            "otherData": {
+                "generator": "repro.telemetry.perfetto",
+                "time_unit": "1us = 1 simulated cycle",
+                "dropped_events": self.dropped,
+            },
+        }
+
+    def write(self, path: str) -> None:
+        """Write ``trace.json`` (open it at ui.perfetto.dev)."""
+        with open(path, "w") as fh:
+            json.dump(self.to_dict(), fh)
+
+    def __len__(self) -> int:
+        """Number of buffered duration events (metadata excluded)."""
+        return len(self._events)
+
+
+def export_platform_trace(
+    platform: "object",
+    path: Optional[str] = None,
+    ring_buffer: Optional[int] = None,
+) -> TraceEventSink:
+    """Export a run platform's recorded lifecycle + throttle intervals.
+
+    Requires the platform to have been built with transaction tracing
+    enabled (``PlatformConfig.trace_masters``); regulator throttle
+    tracks appear for every port whose ``throttle_log`` is non-empty.
+    """
+    sink = TraceEventSink(ring_buffer=ring_buffer)
+    recorder = getattr(platform, "trace", None)
+    if recorder is not None:
+        sink.add_transactions(recorder)
+    for name, port in getattr(platform, "ports", {}).items():
+        log = getattr(port, "throttle_log", None)
+        if log:
+            sink.add_throttle_log(name, log)
+    if path is not None:
+        sink.write(path)
+    return sink

@@ -1,0 +1,387 @@
+"""The process-wide metrics registry.
+
+Every instrumented component (kernel, ports, DRAM controller,
+regulators, runner) obtains *handles* -- :class:`Counter`,
+:class:`Gauge`, :class:`Histogram` -- from a :class:`MetricsRegistry`
+at construction time and updates them on its normal code paths.
+Handles are identified by a metric name plus a frozen label set
+(``counter("axi_completed", master="cpu0")``), so one metric
+aggregates across components while labels keep the per-component
+breakdown.
+
+Overhead discipline (the subsystem's core contract):
+
+* When telemetry is **disabled** (``REPRO_TELEMETRY=off`` or a
+  registry built with ``enabled=False``), every accessor returns a
+  shared *null* handle whose update methods are no-ops.  Components
+  keep a uniform call site; the cost is one no-op method call on
+  transaction-granularity paths only.
+* Nanosecond-granularity paths (the event-queue push/pop loops) are
+  never instrumented push-style at all: the queues maintain a few
+  plain integers on their *cold* branches and the kernel exposes them
+  pull-style via :meth:`repro.sim.kernel.Simulator.kernel_stats`, so
+  the hot loops are byte-identical with telemetry on or off.
+
+The module keeps one default registry per process
+(:func:`get_registry`); tests and tools can swap it with
+:func:`set_registry` or scope it with :func:`use_registry`.
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple, Union
+
+from repro.errors import ConfigError
+
+Number = Union[int, float]
+
+#: Environment variable gating telemetry collection process-wide.
+TELEMETRY_ENV = "REPRO_TELEMETRY"
+
+#: Values of :data:`TELEMETRY_ENV` that disable collection.
+_OFF_VALUES = ("off", "0", "no", "false")
+
+#: Frozen label encoding: sorted ``(key, value)`` pairs.
+LabelKey = Tuple[Tuple[str, str], ...]
+
+#: Default histogram bucket upper bounds (powers of two): wide enough
+#: for cycle latencies and queue depths without per-metric tuning.
+DEFAULT_BUCKETS = tuple(1 << i for i in range(1, 21))
+
+
+def telemetry_enabled() -> bool:
+    """True unless ``REPRO_TELEMETRY`` is set to an off value."""
+    value = os.environ.get(TELEMETRY_ENV, "").strip().lower()
+    return value not in _OFF_VALUES or value == ""
+
+
+def _label_key(labels: Dict[str, str]) -> LabelKey:
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+class Counter:
+    """A monotonically increasing tally handle."""
+
+    __slots__ = ("name", "labels", "value")
+
+    def __init__(self, name: str, labels: LabelKey) -> None:
+        self.name = name
+        self.labels = labels
+        self.value = 0
+
+    def inc(self, amount: Number = 1) -> None:
+        """Add ``amount`` (non-negative) to the counter."""
+        self.value += amount
+
+    def snapshot(self) -> Number:
+        return self.value
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Counter({self.name}{dict(self.labels)}={self.value})"
+
+
+class Gauge:
+    """A handle holding the latest value of some instantaneous signal."""
+
+    __slots__ = ("name", "labels", "value")
+
+    def __init__(self, name: str, labels: LabelKey) -> None:
+        self.name = name
+        self.labels = labels
+        self.value: Number = 0
+
+    def set(self, value: Number) -> None:
+        self.value = value
+
+    def inc(self, amount: Number = 1) -> None:
+        self.value += amount
+
+    def dec(self, amount: Number = 1) -> None:
+        self.value -= amount
+
+    def snapshot(self) -> Number:
+        return self.value
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Gauge({self.name}{dict(self.labels)}={self.value})"
+
+
+class Histogram:
+    """A streaming histogram handle with fixed bucket upper bounds.
+
+    Stores one count per bucket plus count/sum/max, so memory stays
+    O(buckets) no matter how many samples are observed -- the same
+    trade a hardware range-counter monitor makes
+    (:class:`repro.monitor.histogram.LatencyHistogram`).
+    """
+
+    __slots__ = ("name", "labels", "bounds", "counts", "overflow",
+                 "count", "total", "maximum")
+
+    def __init__(
+        self,
+        name: str,
+        labels: LabelKey,
+        bounds: Sequence[Number] = DEFAULT_BUCKETS,
+    ) -> None:
+        if not bounds or list(bounds) != sorted(bounds):
+            raise ConfigError(
+                f"histogram {name!r}: bounds must be non-empty and ascending"
+            )
+        self.name = name
+        self.labels = labels
+        self.bounds = tuple(bounds)
+        self.counts = [0] * len(self.bounds)
+        self.overflow = 0
+        self.count = 0
+        self.total: Number = 0
+        self.maximum: Number = 0
+
+    def observe(self, value: Number) -> None:
+        """Fold one sample into its bucket."""
+        self.count += 1
+        self.total += value
+        if value > self.maximum:
+            self.maximum = value
+        bounds = self.bounds
+        # Linear scan: bucket lists are short and samples are small in
+        # the common case, so this beats bisect's call overhead.
+        for i, bound in enumerate(bounds):
+            if value <= bound:
+                self.counts[i] += 1
+                return
+        self.overflow += 1
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def percentile_bound(self, pct: float) -> Number:
+        """Upper bucket bound containing the ``pct`` percentile."""
+        if not 0 < pct <= 100:
+            raise ConfigError(f"percentile {pct} out of (0, 100]")
+        if not self.count:
+            return 0
+        threshold = pct / 100.0 * self.count
+        running = 0
+        for bound, n in zip(self.bounds, self.counts):
+            running += n
+            if running >= threshold:
+                return bound
+        return self.maximum
+
+    def summary(self) -> Dict[str, float]:
+        return {
+            "count": float(self.count),
+            "mean": float(self.mean),
+            "max": float(self.maximum),
+            "p50": float(self.percentile_bound(50)),
+            "p99": float(self.percentile_bound(99)),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Histogram({self.name}{dict(self.labels)}, n={self.count})"
+
+
+class _NullCounter:
+    """Shared no-op counter handle (telemetry disabled)."""
+
+    __slots__ = ()
+
+    def inc(self, amount: Number = 1) -> None:
+        pass
+
+    def snapshot(self) -> Number:
+        return 0
+
+
+class _NullGauge:
+    """Shared no-op gauge handle (telemetry disabled)."""
+
+    __slots__ = ()
+
+    def set(self, value: Number) -> None:
+        pass
+
+    def inc(self, amount: Number = 1) -> None:
+        pass
+
+    def dec(self, amount: Number = 1) -> None:
+        pass
+
+    def snapshot(self) -> Number:
+        return 0
+
+
+class _NullHistogram:
+    """Shared no-op histogram handle (telemetry disabled)."""
+
+    __slots__ = ()
+
+    def observe(self, value: Number) -> None:
+        pass
+
+    def summary(self) -> Dict[str, float]:
+        return {"count": 0.0, "mean": 0.0, "max": 0.0, "p50": 0.0, "p99": 0.0}
+
+
+#: The singletons every disabled registry hands out.
+NULL_COUNTER = _NullCounter()
+NULL_GAUGE = _NullGauge()
+NULL_HISTOGRAM = _NullHistogram()
+
+
+class MetricsRegistry:
+    """A named family of metric handles with label sets.
+
+    Args:
+        enabled: ``None`` defers to ``REPRO_TELEMETRY``; ``False``
+            makes every accessor return the shared null handles, so
+            instrumented code paths cost one no-op call at most.
+    """
+
+    def __init__(self, enabled: Optional[bool] = None) -> None:
+        self.enabled = telemetry_enabled() if enabled is None else bool(enabled)
+        self._counters: Dict[Tuple[str, LabelKey], Counter] = {}
+        self._gauges: Dict[Tuple[str, LabelKey], Gauge] = {}
+        self._histograms: Dict[Tuple[str, LabelKey], Histogram] = {}
+
+    # ------------------------------------------------------------------
+    # handle accessors
+    # ------------------------------------------------------------------
+    def counter(self, name: str, **labels: str) -> Counter:
+        """The counter handle for ``name`` + ``labels`` (created once)."""
+        if not self.enabled:
+            return NULL_COUNTER
+        key = (name, _label_key(labels))
+        handle = self._counters.get(key)
+        if handle is None:
+            handle = self._counters[key] = Counter(name, key[1])
+        return handle
+
+    def gauge(self, name: str, **labels: str) -> Gauge:
+        """The gauge handle for ``name`` + ``labels`` (created once)."""
+        if not self.enabled:
+            return NULL_GAUGE
+        key = (name, _label_key(labels))
+        handle = self._gauges.get(key)
+        if handle is None:
+            handle = self._gauges[key] = Gauge(name, key[1])
+        return handle
+
+    def histogram(
+        self,
+        name: str,
+        bounds: Sequence[Number] = DEFAULT_BUCKETS,
+        **labels: str,
+    ) -> Histogram:
+        """The histogram handle for ``name`` + ``labels`` (created once).
+
+        ``bounds`` applies on first creation; later calls reuse the
+        existing handle regardless.
+        """
+        if not self.enabled:
+            return NULL_HISTOGRAM
+        key = (name, _label_key(labels))
+        handle = self._histograms.get(key)
+        if handle is None:
+            handle = self._histograms[key] = Histogram(name, key[1], bounds)
+        return handle
+
+    # ------------------------------------------------------------------
+    # reporting
+    # ------------------------------------------------------------------
+    def collect(self) -> Dict[str, List[Dict[str, object]]]:
+        """Snapshot all handles: metric name -> list of label'd values."""
+        out: Dict[str, List[Dict[str, object]]] = {}
+        for (name, labels), counter in sorted(self._counters.items()):
+            out.setdefault(name, []).append(
+                {"labels": dict(labels), "type": "counter",
+                 "value": counter.value}
+            )
+        for (name, labels), gauge in sorted(self._gauges.items()):
+            out.setdefault(name, []).append(
+                {"labels": dict(labels), "type": "gauge", "value": gauge.value}
+            )
+        for (name, labels), hist in sorted(self._histograms.items()):
+            out.setdefault(name, []).append(
+                {"labels": dict(labels), "type": "histogram",
+                 "value": hist.summary()}
+            )
+        return out
+
+    def format_summary(self, limit: Optional[int] = None) -> str:
+        """Human-readable summary, one line per (metric, label set).
+
+        Args:
+            limit: Keep only the first ``limit`` lines (None = all).
+        """
+        lines: List[str] = []
+        for name, entries in self.collect().items():
+            for entry in entries:
+                labels = entry["labels"]
+                tag = (
+                    "{" + ",".join(f"{k}={v}" for k, v in sorted(labels.items())) + "}"
+                    if labels
+                    else ""
+                )
+                value = entry["value"]
+                if entry["type"] == "histogram":
+                    value = (
+                        f"count={value['count']:.0f} mean={value['mean']:.1f} "
+                        f"p99={value['p99']:.0f} max={value['max']:.0f}"
+                    )
+                lines.append(f"{name}{tag} = {value}")
+        if limit is not None:
+            lines = lines[:limit]
+        return "\n".join(lines)
+
+    def reset(self) -> None:
+        """Drop every handle (new handles start from zero).
+
+        Components keep updating their *old* handles after a reset;
+        reset is for process-level tools that rebuild the world (and
+        for tests), not for zeroing live components mid-run.
+        """
+        self._counters.clear()
+        self._gauges.clear()
+        self._histograms.clear()
+
+    def __len__(self) -> int:
+        return len(self._counters) + len(self._gauges) + len(self._histograms)
+
+
+#: The process-wide default registry (lazily built from the env).
+_default: Optional[MetricsRegistry] = None
+
+
+def get_registry() -> MetricsRegistry:
+    """The process-wide default registry (created on first use)."""
+    global _default
+    if _default is None:
+        _default = MetricsRegistry()
+    return _default
+
+
+def set_registry(registry: MetricsRegistry) -> MetricsRegistry:
+    """Replace the default registry; returns the previous one.
+
+    Components capture handles at construction time, so swap the
+    registry *before* building the platform under measurement.
+    """
+    global _default
+    previous = get_registry()
+    _default = registry
+    return previous
+
+
+@contextmanager
+def use_registry(registry: MetricsRegistry) -> Iterator[MetricsRegistry]:
+    """Scope the default registry to a ``with`` block (test helper)."""
+    previous = set_registry(registry)
+    try:
+        yield registry
+    finally:
+        set_registry(previous)

@@ -1,0 +1,106 @@
+"""Runner batch telemetry reports.
+
+The parallel runner already accounts for what it did
+(:class:`~repro.runner.parallel.RunnerStats`: cache hits, dedup,
+executed count, wall time, per-spec timings).  This module freezes
+one batch's accounting into a :class:`RunnerTelemetry` record and
+writes it as a JSON report next to the results it describes, so a
+sweep leaves behind *how it ran* alongside *what it computed* --
+the record ``scripts/bench_smoke.py`` appends into
+``BENCH_runner.json`` (schema 3).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+from typing import Dict, Optional, Tuple
+
+#: Report format version.
+REPORT_SCHEMA = 1
+
+
+@dataclass(frozen=True)
+class RunnerTelemetry:
+    """How one runner batch executed.
+
+    Attributes:
+        total: Specs requested.
+        executed: Simulations actually performed.
+        cache_hits: Specs satisfied from the on-disk cache.
+        cache_misses: Cache lookups that found nothing.
+        cache_poisoned: Corrupt/stale cache entries discarded.
+        deduped: Specs satisfied by an equal-hash batch sibling.
+        mode: ``"parallel"`` or ``"serial"``.
+        workers: Worker processes used for the executed part.
+        wall_seconds: Wall-clock time of the whole batch.
+        spec_seconds: Per-executed-spec simulation seconds, in
+            execution-list order.
+        utilization: Busy fraction of the worker pool:
+            ``sum(spec_seconds) / (wall_seconds * workers)``.
+    """
+
+    total: int
+    executed: int
+    cache_hits: int
+    cache_misses: int
+    cache_poisoned: int
+    deduped: int
+    mode: str
+    workers: int
+    wall_seconds: float
+    spec_seconds: Tuple[float, ...] = field(default_factory=tuple)
+    utilization: float = 0.0
+
+    @classmethod
+    def from_runner(cls, runner: "object") -> "RunnerTelemetry":
+        """Snapshot a :class:`~repro.runner.parallel.ParallelRunner`'s
+        most recent batch (``runner.last_stats`` plus cache counters)."""
+        stats = runner.last_stats
+        cache = getattr(runner, "cache", None)
+        workers = max(getattr(stats, "workers", 1), 1)
+        wall = getattr(stats, "wall_seconds", 0.0)
+        spec_seconds = tuple(getattr(stats, "spec_seconds", ()))
+        busy = sum(spec_seconds)
+        return cls(
+            total=stats.total,
+            executed=stats.executed,
+            cache_hits=stats.cache_hits,
+            cache_misses=getattr(cache, "misses", 0) if cache else 0,
+            cache_poisoned=getattr(cache, "poisoned", 0) if cache else 0,
+            deduped=stats.deduped,
+            mode=stats.mode,
+            workers=workers,
+            wall_seconds=wall,
+            spec_seconds=spec_seconds,
+            utilization=(busy / (wall * workers)) if wall > 0 else 0.0,
+        )
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-serializable report payload (with schema tag)."""
+        payload = asdict(self)
+        payload["spec_seconds"] = list(self.spec_seconds)
+        payload["schema"] = REPORT_SCHEMA
+        return payload
+
+    def write(self, path: str) -> str:
+        """Write the report as pretty-printed JSON; returns ``path``."""
+        with open(path, "w") as fh:
+            json.dump(self.to_dict(), fh, indent=2, sort_keys=True)
+        return path
+
+
+def write_runner_report(
+    runner: "object", path: str, extra: Optional[Dict[str, object]] = None
+) -> str:
+    """One-call snapshot + write for benchmark scripts.
+
+    ``extra`` entries (e.g. the experiment name or result file the
+    report sits next to) are merged into the payload.
+    """
+    payload = RunnerTelemetry.from_runner(runner).to_dict()
+    if extra:
+        payload.update(extra)
+    with open(path, "w") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+    return path

@@ -66,6 +66,30 @@ class TestCdf:
             h.percentile_bound(0)
         assert h.percentile_bound(50) == 0  # empty histogram
 
+    def test_empty_percentiles_all_zero(self):
+        h = LatencyHistogram()
+        for pct in (1, 50, 99, 100):
+            assert h.percentile_bound(pct) == 0
+        assert h.mean == 0.0
+        assert h.buckets() == []
+
+    def test_overflow_bucket_accumulates(self):
+        h = LatencyHistogram(max_exponent=4)
+        for v in (1 << 4, (1 << 4) + 1, 1 << 10, 1 << 30):
+            h.record(v)
+        assert dict(h.buckets()) == {16: 4}
+        # The conservative percentile of a fully-folded population is
+        # the overflow bucket's upper edge.
+        assert h.percentile_bound(100) == (1 << 5) - 1
+
+    def test_overflow_boundary_split(self):
+        h = LatencyHistogram(max_exponent=4)
+        h.record((1 << 4) - 1)  # last value of the ordinary range
+        h.record(1 << 4)        # first folded value
+        buckets = dict(h.buckets())
+        assert buckets[8] == 1
+        assert buckets[16] == 1
+
 
 class TestMerge:
     def test_merge_combines_populations(self):

@@ -73,6 +73,19 @@ class TestWindowedMonitor:
         with pytest.raises(ConfigError):
             mon.mean_bandwidth_bytes_per_cycle(0)
 
+    def test_zero_length_window_guard(self):
+        # Zero- and negative-width windows would divide by zero in
+        # every query path; both must be rejected at construction.
+        for bad in (0, -1, -100):
+            with pytest.raises(ConfigError):
+                WindowedBandwidthMonitor(_FakePort(), window_cycles=bad)
+
+    def test_horizon_of_exactly_one_window(self):
+        port = _FakePort()
+        mon = WindowedBandwidthMonitor(port, window_cycles=100)
+        port.emit(12, 0)
+        assert mon.window_bytes(100) == [12]
+
 
 class TestOvershootReport:
     def _monitored(self, pairs, window=100):

@@ -1,0 +1,72 @@
+"""CLI smoke tests for the profile and trace verbs."""
+
+import json
+
+from repro.cli import main
+
+
+class TestProfileVerb:
+    def test_profile_prints_table(self, capsys):
+        code = main(
+            ["profile", "--hogs", "1", "--work", "200", "--kind", "none"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "handler" in out
+        assert "TOTAL" in out
+        assert "us/event" in out
+
+    def test_profile_scenario_name(self, capsys):
+        code = main(
+            ["profile", "industrial", "--kind", "none",
+             "--max-cycles", "200000"]
+        )
+        assert code == 0
+        assert "TOTAL" in capsys.readouterr().out
+
+    def test_profile_unknown_experiment(self, capsys):
+        code = main(["profile", "warp_drive"])
+        assert code == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_profile_limit(self, capsys):
+        code = main(
+            ["profile", "--hogs", "1", "--work", "200", "--kind", "none",
+             "--limit", "2"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        table = [line for line in out.splitlines() if line.strip()]
+        # header + 2 rows + TOTAL + summary line
+        assert len(table) == 5
+
+
+class TestTraceVerb:
+    def test_trace_writes_valid_json(self, tmp_path, capsys):
+        out_path = str(tmp_path / "trace.json")
+        code = main(
+            ["trace", "--export", "perfetto", "--out", out_path,
+             "--hogs", "1", "--work", "200"]
+        )
+        assert code == 0
+        assert "wrote" in capsys.readouterr().out
+        with open(out_path) as fh:
+            payload = json.load(fh)
+        slices = [e for e in payload["traceEvents"] if e["ph"] == "X"]
+        assert slices
+        for event in slices:
+            assert isinstance(event["ts"], int)
+            assert event["dur"] >= 1
+
+    def test_trace_ring_buffer_bounds_events(self, tmp_path):
+        out_path = str(tmp_path / "trace.json")
+        code = main(
+            ["trace", "--out", out_path, "--hogs", "1", "--work", "200",
+             "--ring-buffer", "10"]
+        )
+        assert code == 0
+        with open(out_path) as fh:
+            payload = json.load(fh)
+        slices = [e for e in payload["traceEvents"] if e["ph"] == "X"]
+        assert len(slices) == 10
+        assert payload["otherData"]["dropped_events"] > 0

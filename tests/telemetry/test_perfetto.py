@@ -1,0 +1,144 @@
+"""Tests for the Chrome/Perfetto trace-event exporter."""
+
+import json
+
+from repro.sim.trace import TraceRecord
+from repro.telemetry.perfetto import TRACE_PID, TraceEventSink, export_platform_trace
+
+
+def _record(master="cpu0", txn_id=0, is_write=False, created=0,
+            accepted=4, completed=20):
+    return TraceRecord(
+        master=master, txn_id=txn_id, is_write=is_write, addr=0x1000,
+        nbytes=64, created=created, issued=created, accepted=accepted,
+        completed=completed,
+    )
+
+
+class TestSlices:
+    def test_slice_fields_match_chrome_schema(self):
+        sink = TraceEventSink()
+        sink.add_slice("cpu0", "work", start=10, duration=5)
+        event = sink.to_dict()["traceEvents"][-1]
+        # The acceptance contract: every duration event carries
+        # ph/ts/dur (plus pid/tid) in trace-event form.
+        assert event["ph"] == "X"
+        assert event["ts"] == 10
+        assert event["dur"] == 5
+        assert event["pid"] == TRACE_PID
+        assert isinstance(event["tid"], int)
+
+    def test_zero_duration_clamped_to_one(self):
+        sink = TraceEventSink()
+        sink.add_slice("cpu0", "instant", start=0, duration=0)
+        assert sink.to_dict()["traceEvents"][-1]["dur"] == 1
+
+    def test_stable_tids_per_track(self):
+        sink = TraceEventSink()
+        assert sink.tid_for("a") == sink.tid_for("a")
+        assert sink.tid_for("a") != sink.tid_for("b")
+
+
+class TestTransactions:
+    def test_transaction_emits_wait_and_xfer(self):
+        sink = TraceEventSink()
+        sink.add_transaction(_record(created=0, accepted=4, completed=20))
+        assert len(sink) == 2
+        wait, xfer = list(sink.to_dict()["traceEvents"])[-2:]
+        assert wait["name"] == "wait read"
+        assert wait["ts"] == 0 and wait["dur"] == 4
+        assert xfer["name"] == "read 64B"
+        assert xfer["ts"] == 4 and xfer["dur"] == 16
+        assert xfer["args"]["addr"] == "0x1000"
+
+    def test_no_wait_slice_when_accepted_immediately(self):
+        sink = TraceEventSink()
+        sink.add_transaction(_record(created=5, accepted=5, completed=9))
+        assert len(sink) == 1
+
+    def test_write_kind(self):
+        sink = TraceEventSink()
+        sink.add_transaction(_record(is_write=True, created=0, accepted=2))
+        names = [e["name"] for e in sink.to_dict()["traceEvents"]
+                 if e["ph"] == "X"]
+        assert "wait write" in names
+        assert "write 64B" in names
+
+
+class TestThrottle:
+    def test_throttle_log_track(self):
+        sink = TraceEventSink()
+        sink.add_throttle_log("acc0", [(10, 20), (50, 55)])
+        events = [e for e in sink.to_dict()["traceEvents"] if e["ph"] == "X"]
+        assert len(events) == 2
+        assert all(e["name"] == "throttle" for e in events)
+        meta_names = [
+            e["args"]["name"]
+            for e in sink.to_dict()["traceEvents"]
+            if e["ph"] == "M" and e["name"] == "thread_name"
+        ]
+        assert "acc0/regulator" in meta_names
+
+
+class TestRingBuffer:
+    def test_oldest_dropped_and_counted(self):
+        sink = TraceEventSink(ring_buffer=3)
+        for i in range(5):
+            sink.add_slice("t", f"s{i}", start=i, duration=1)
+        assert len(sink) == 3
+        assert sink.dropped == 2
+        kept = [e["name"] for e in sink.to_dict()["traceEvents"]
+                if e["ph"] == "X"]
+        assert kept == ["s2", "s3", "s4"]
+        assert sink.to_dict()["otherData"]["dropped_events"] == 2
+
+
+class TestExport:
+    def test_write_produces_loadable_json(self, tmp_path):
+        sink = TraceEventSink()
+        sink.add_transaction(_record())
+        path = str(tmp_path / "trace.json")
+        sink.write(path)
+        with open(path) as fh:
+            payload = json.load(fh)
+        assert "traceEvents" in payload
+        for event in payload["traceEvents"]:
+            assert event["ph"] in ("X", "M")
+            if event["ph"] == "X":
+                assert "ts" in event and "dur" in event
+
+    def test_export_platform_trace_end_to_end(self, tmp_path):
+        """Reduced E2-style regulated run -> trace.json (acceptance)."""
+        from dataclasses import replace
+
+        from repro.regulation.factory import RegulatorSpec
+        from repro.soc.experiment import run_experiment
+        from repro.soc.presets import zcu102
+
+        spec = RegulatorSpec(
+            kind="tightly_coupled", window_cycles=256, budget_bytes=1024
+        )
+        config = zcu102(num_accels=2, cpu_work=300, accel_regulator=spec)
+        config = replace(
+            config, trace_masters=tuple(m.name for m in config.masters)
+        )
+        result = run_experiment(config)
+        path = str(tmp_path / "trace.json")
+        sink = export_platform_trace(result.platform, path=path)
+        assert len(sink) > 0
+        with open(path) as fh:
+            payload = json.load(fh)
+        slices = [e for e in payload["traceEvents"] if e["ph"] == "X"]
+        assert slices, "expected duration events"
+        for event in slices:
+            assert event["ph"] == "X"
+            assert isinstance(event["ts"], int)
+            assert event["dur"] >= 1
+        tracks = {
+            e["args"]["name"]
+            for e in payload["traceEvents"]
+            if e["ph"] == "M" and e["name"] == "thread_name"
+        }
+        assert "cpu0" in tracks
+        # The tight budget forces denials, so regulator tracks exist.
+        assert any(t.endswith("/regulator") for t in tracks)

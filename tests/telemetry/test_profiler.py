@@ -1,0 +1,167 @@
+"""Tests for the kernel phase profiler."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.sim.kernel import Simulator
+from repro.telemetry.profiler import (
+    PhaseProfiler,
+    callback_key,
+    profile_experiment,
+)
+
+
+class _Component:
+    def __init__(self, sim):
+        self.sim = sim
+        self.fired = 0
+
+    def tick(self):
+        self.fired += 1
+        if self.fired < 5:
+            self.sim.schedule(10, self.tick)
+
+
+def _free_fn():
+    pass
+
+
+class TestCallbackKey:
+    def test_bound_method(self):
+        comp = _Component(Simulator())
+        assert callback_key(comp.tick) == "_Component.tick"
+
+    def test_plain_function(self):
+        assert callback_key(_free_fn) == "_free_fn"
+
+    def test_lambda_uses_qualname(self):
+        key = callback_key(lambda: None)
+        assert "lambda" in key
+
+
+class TestAttachment:
+    def test_attach_detach(self):
+        sim = Simulator()
+        profiler = PhaseProfiler()
+        profiler.attach(sim)
+        assert sim._profiler is profiler
+        profiler.detach(sim)
+        assert sim._profiler is None
+
+    def test_second_profiler_rejected(self):
+        sim = Simulator()
+        PhaseProfiler().attach(sim)
+        with pytest.raises(ConfigError):
+            PhaseProfiler().attach(sim)
+
+    def test_attach_to_scopes(self):
+        sim = Simulator()
+        profiler = PhaseProfiler()
+        with profiler.attach_to(sim):
+            assert sim._profiler is profiler
+        assert sim._profiler is None
+
+    def test_reattach_same_profiler_is_idempotent(self):
+        sim = Simulator()
+        profiler = PhaseProfiler()
+        profiler.attach(sim)
+        profiler.attach(sim)  # no error
+        assert sim._profiler is profiler
+
+
+class TestProfiledRun:
+    def test_attribution_counts_events(self):
+        sim = Simulator()
+        comp = _Component(sim)
+        sim.schedule(0, comp.tick)
+        profiler = PhaseProfiler()
+        with profiler.attach_to(sim):
+            sim.run()
+        assert comp.fired == 5
+        assert profiler.events == 5
+        assert profiler.records["_Component.tick"][0] == 5
+        assert profiler.records["_Component.tick"][1] >= 0.0
+        assert profiler.wall_seconds > 0.0
+
+    def test_profiled_run_matches_unprofiled(self):
+        def run(profiled):
+            sim = Simulator()
+            comp = _Component(sim)
+            sim.schedule(0, comp.tick)
+            if profiled:
+                with PhaseProfiler().attach_to(sim):
+                    sim.run()
+            else:
+                sim.run()
+            return sim.now, comp.fired, sim.events_dispatched
+
+        assert run(True) == run(False)
+
+    def test_injectable_clock(self):
+        ticks = iter(range(1000))
+
+        def clock():
+            return float(next(ticks))
+
+        sim = Simulator()
+        comp = _Component(sim)
+        sim.schedule(0, comp.tick)
+        profiler = PhaseProfiler(clock=clock)
+        with profiler.attach_to(sim):
+            sim.run()
+        # Each bracketed callback consumes exactly 1.0 fake seconds.
+        assert profiler.records["_Component.tick"][1] == pytest.approx(5.0)
+
+
+class TestReporting:
+    def _populated(self):
+        sim = Simulator()
+        comp = _Component(sim)
+        sim.schedule(0, comp.tick)
+        profiler = PhaseProfiler()
+        with profiler.attach_to(sim):
+            sim.run()
+        return profiler
+
+    def test_rows_sorted_by_time(self):
+        profiler = self._populated()
+        rows = profiler.rows()
+        times = [seconds for _, _, seconds in rows]
+        assert times == sorted(times, reverse=True)
+
+    def test_format_table_has_header_and_total(self):
+        table = self._populated().format_table()
+        assert "handler" in table
+        assert "TOTAL" in table
+        assert "_Component.tick" in table
+
+    def test_to_dict_roundtrips_json(self):
+        import json
+
+        payload = self._populated().to_dict()
+        decoded = json.loads(json.dumps(payload))
+        assert decoded["events"] == 5
+        assert decoded["handlers"][0]["handler"] == "_Component.tick"
+
+
+class TestProfileExperiment:
+    def test_profiles_small_platform(self):
+        from repro.soc.presets import zcu102
+
+        config = zcu102(num_accels=1, cpu_work=200)
+        result, profiler = profile_experiment(config)
+        assert result.critical_runtime() > 0
+        assert profiler.events > 0
+        keys = set(profiler.records)
+        assert any(k.startswith("Interconnect.") for k in keys)
+        assert any(k.startswith("DramController.") for k in keys)
+
+    def test_profiled_experiment_matches_plain_run(self):
+        from repro.soc.experiment import run_experiment
+        from repro.soc.presets import zcu102
+
+        config = zcu102(num_accels=1, cpu_work=200)
+        plain = run_experiment(config)
+        profiled, _ = profile_experiment(config)
+        assert profiled.critical_runtime() == plain.critical_runtime()
+        assert profiled.elapsed == plain.elapsed
