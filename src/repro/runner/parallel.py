@@ -104,12 +104,17 @@ class RunnerStats:
     Attributes:
         total: Specs requested.
         cache_hits: Satisfied from the result cache.
+        cache_misses: Cache lookups in this batch that found nothing
+            (delta of the cache's lifetime counter, so a report per
+            batch never re-attributes earlier batches' misses).
+        cache_poisoned: Corrupt/stale entries this batch discarded.
         deduped: Satisfied by another spec in the same batch with an
             equal content hash.
         executed: Simulations actually performed.
         mode: ``"parallel"`` or ``"serial"`` for the executed part
             (``"serial"`` when nothing ran in a pool).
-        workers: Effective worker count the batch was sized for.
+        workers: Worker processes the executed part actually used
+            (1 whenever nothing ran in a pool).
         wall_seconds: End-to-end wall time of the batch (cache
             lookups included).
         spec_seconds: Per-executed-spec simulation seconds, in the
@@ -118,6 +123,8 @@ class RunnerStats:
 
     total: int = 0
     cache_hits: int = 0
+    cache_misses: int = 0
+    cache_poisoned: int = 0
     deduped: int = 0
     executed: int = 0
     mode: str = "serial"
@@ -165,11 +172,15 @@ class ParallelRunner:
         Identical specs (equal content hashes) are simulated once and
         their summary shared; cached specs are not simulated at all.
         """
-        stats = RunnerStats(total=len(specs), workers=self.max_workers)
+        stats = RunnerStats(total=len(specs))
         self.last_stats = stats
         if not specs:
             return []
         batch_start = time.perf_counter()
+        misses_before = self.cache.misses if self.cache is not None else 0
+        poisoned_before = (
+            self.cache.poisoned if self.cache is not None else 0
+        )
 
         by_hash: Dict[str, RunSummary] = {}
         hashes = [spec.content_hash() for spec in specs]
@@ -191,6 +202,10 @@ class ParallelRunner:
                     continue
             pending.append(spec)
             pending_hashes.append(digest)
+
+        if self.cache is not None:
+            stats.cache_misses = self.cache.misses - misses_before
+            stats.cache_poisoned = self.cache.poisoned - poisoned_before
 
         if pending:
             summaries = self._execute(pending, stats)
@@ -218,6 +233,7 @@ class ParallelRunner:
                     len(specs),
                 )
         stats.mode = "serial"
+        stats.workers = 1
         results: List[RunSummary] = []
         for spec in specs:
             summary, seconds = _timed_execute(spec)
@@ -244,6 +260,7 @@ class ParallelRunner:
             # completes, just in-process.
             raise _PoolUnavailable() from exc
         stats.mode = "parallel"
+        stats.workers = workers
         results = []
         for summary, seconds in pairs:
             stats.spec_seconds.append(seconds)

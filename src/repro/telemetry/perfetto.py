@@ -28,6 +28,7 @@ import json
 from collections import deque
 from typing import Deque, Dict, Iterable, List, Optional, Tuple, Union
 
+from repro.errors import ConfigError
 from repro.sim.trace import TraceRecord
 
 JsonEvent = Dict[str, object]
@@ -42,11 +43,16 @@ class TraceEventSink:
     Args:
         ring_buffer: Keep at most this many duration events (oldest
             evicted first); ``None`` keeps everything.
+
+    Raises:
+        ConfigError: If ``ring_buffer`` is zero or negative.
     """
 
     def __init__(self, ring_buffer: Optional[int] = None) -> None:
         if ring_buffer is not None and ring_buffer <= 0:
-            ring_buffer = 1
+            raise ConfigError(
+                f"ring_buffer must be >= 1, got {ring_buffer}"
+            )
         self._events: Union[List[JsonEvent], Deque[JsonEvent]] = (
             deque(maxlen=ring_buffer) if ring_buffer is not None else []
         )

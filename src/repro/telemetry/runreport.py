@@ -28,8 +28,8 @@ class RunnerTelemetry:
         total: Specs requested.
         executed: Simulations actually performed.
         cache_hits: Specs satisfied from the on-disk cache.
-        cache_misses: Cache lookups that found nothing.
-        cache_poisoned: Corrupt/stale cache entries discarded.
+        cache_misses: Cache lookups in this batch that found nothing.
+        cache_poisoned: Corrupt/stale entries this batch discarded.
         deduped: Specs satisfied by an equal-hash batch sibling.
         mode: ``"parallel"`` or ``"serial"``.
         workers: Worker processes used for the executed part.
@@ -55,9 +55,10 @@ class RunnerTelemetry:
     @classmethod
     def from_runner(cls, runner: "object") -> "RunnerTelemetry":
         """Snapshot a :class:`~repro.runner.parallel.ParallelRunner`'s
-        most recent batch (``runner.last_stats`` plus cache counters)."""
+        most recent batch (``runner.last_stats``; the cache counts are
+        the stats' per-batch deltas, not the cache's lifetime totals,
+        so reports written after every batch stay disjoint)."""
         stats = runner.last_stats
-        cache = getattr(runner, "cache", None)
         workers = max(getattr(stats, "workers", 1), 1)
         wall = getattr(stats, "wall_seconds", 0.0)
         spec_seconds = tuple(getattr(stats, "spec_seconds", ()))
@@ -66,8 +67,8 @@ class RunnerTelemetry:
             total=stats.total,
             executed=stats.executed,
             cache_hits=stats.cache_hits,
-            cache_misses=getattr(cache, "misses", 0) if cache else 0,
-            cache_poisoned=getattr(cache, "poisoned", 0) if cache else 0,
+            cache_misses=getattr(stats, "cache_misses", 0),
+            cache_poisoned=getattr(stats, "cache_poisoned", 0),
             deduped=stats.deduped,
             mode=stats.mode,
             workers=workers,

@@ -1,0 +1,49 @@
+"""Regression tests for ``scripts/check_telemetry_overhead.py``.
+
+The CI gate exists to catch push-style telemetry overhead creeping
+onto the kernel dispatch path, which manifests as the *enabled* run
+falling behind the disabled one.  These tests drive ``main`` with
+stubbed probe rates to pin the gate's direction: it must fail when
+"on" regresses and must not fail when "off" is merely noisy-slow.
+"""
+
+import importlib.util
+import os
+
+import pytest
+
+_SCRIPT = os.path.join(
+    os.path.dirname(os.path.abspath(__file__)),
+    "..", "..", "scripts", "check_telemetry_overhead.py",
+)
+
+
+@pytest.fixture(scope="module")
+def gate():
+    spec = importlib.util.spec_from_file_location("overhead_gate", _SCRIPT)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def _stub_rates(monkeypatch, gate, rate_on, rate_off):
+    monkeypatch.setattr(
+        gate, "_sample",
+        lambda mode: rate_on if mode == "on" else rate_off,
+    )
+
+
+class TestGateDirection:
+    def test_enabled_regression_fails(self, monkeypatch, gate):
+        _stub_rates(monkeypatch, gate, rate_on=90.0, rate_off=100.0)
+        assert gate.main(["--tolerance", "0.02"]) == 1
+
+    def test_within_tolerance_passes(self, monkeypatch, gate):
+        _stub_rates(monkeypatch, gate, rate_on=99.0, rate_off=100.0)
+        assert gate.main(["--tolerance", "0.02"]) == 0
+
+    def test_noisy_slow_off_run_does_not_flake(self, monkeypatch, gate):
+        # Benign noise in the other direction (off slower than on)
+        # is not the regression this gate guards against.
+        _stub_rates(monkeypatch, gate, rate_on=100.0, rate_off=95.0)
+        assert gate.main(["--tolerance", "0.02"]) == 0

@@ -2,6 +2,9 @@
 
 import json
 
+import pytest
+
+from repro.errors import ConfigError
 from repro.sim.trace import TraceRecord
 from repro.telemetry.perfetto import TRACE_PID, TraceEventSink, export_platform_trace
 
@@ -91,6 +94,11 @@ class TestRingBuffer:
                 if e["ph"] == "X"]
         assert kept == ["s2", "s3", "s4"]
         assert sink.to_dict()["otherData"]["dropped_events"] == 2
+
+    @pytest.mark.parametrize("size", [0, -1])
+    def test_non_positive_size_rejected(self, size):
+        with pytest.raises(ConfigError):
+            TraceEventSink(ring_buffer=size)
 
 
 class TestExport:

@@ -15,6 +15,8 @@ class _FakeStats:
     total = 4
     executed = 2
     cache_hits = 1
+    cache_misses = 3
+    cache_poisoned = 1
     deduped = 1
     mode = "parallel"
     workers = 2
@@ -22,15 +24,21 @@ class _FakeStats:
     spec_seconds = [1.0, 2.0]
 
 
-class _FakeCache:
-    hits = 1
-    misses = 3
-    poisoned = 1
+class _LegacyStats:
+    """Stats shape predating the per-batch cache counters."""
+
+    total = 1
+    executed = 1
+    cache_hits = 0
+    deduped = 0
+    mode = "serial"
+    workers = 1
+    wall_seconds = 1.0
+    spec_seconds = [1.0]
 
 
 class _FakeRunner:
     last_stats = _FakeStats()
-    cache = _FakeCache()
 
 
 def _spec(work, accels=1):
@@ -46,9 +54,9 @@ class TestFromRunner:
         # 3 busy seconds over 2 workers x 2 wall seconds.
         assert t.utilization == 0.75
 
-    def test_missing_cache_defaults_zero(self):
+    def test_missing_cache_counters_default_zero(self):
         runner = _FakeRunner()
-        runner.cache = None
+        runner.last_stats = _LegacyStats()
         t = RunnerTelemetry.from_runner(runner)
         assert t.cache_misses == 0
         assert t.cache_poisoned == 0
@@ -90,6 +98,13 @@ class TestRealRunnerAccounting:
         assert (cache.hits, cache.misses, cache.poisoned) == (0, 1, 0)
         runner.run([spec])
         assert (cache.hits, cache.misses, cache.poisoned) == (1, 1, 0)
+        # The warm batch's report must not re-attribute the first
+        # batch's miss: stats carry per-batch deltas, not the cache's
+        # cumulative lifetime counters.
+        warm = RunnerTelemetry.from_runner(runner)
+        assert warm.cache_hits == 1
+        assert warm.cache_misses == 0
+        assert warm.cache_poisoned == 0
         # Poison the entry: next lookup discards and recomputes.
         with open(cache.path_for(spec), "w") as fh:
             fh.write("{not json")
@@ -97,4 +112,5 @@ class TestRealRunnerAccounting:
         assert cache.poisoned == 1
         assert cache.misses == 2
         t = RunnerTelemetry.from_runner(runner)
+        assert t.cache_misses == 1
         assert t.cache_poisoned == 1
