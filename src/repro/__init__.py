@@ -29,12 +29,17 @@ reproduced evaluation.
 """
 
 from repro.errors import (
+    CacheError,
+    CheckError,
     ConfigError,
+    LintError,
     ProtocolError,
     RegulationError,
     ReproError,
+    SanitizerError,
     SimulationError,
 )
+from repro.checks import SanitizingQueue, lint_paths, sanitize_enabled
 from repro.sim.config import ClockSpec
 from repro.sim.kernel import Simulator
 from repro.axi.bridge import Bridge
@@ -103,11 +108,19 @@ __version__ = "1.0.0"
 
 __all__ = [
     # errors
+    "CacheError",
+    "CheckError",
     "ConfigError",
+    "LintError",
     "ProtocolError",
     "RegulationError",
     "ReproError",
+    "SanitizerError",
     "SimulationError",
+    # checks (invariant lint + kernel sanitizer)
+    "SanitizingQueue",
+    "lint_paths",
+    "sanitize_enabled",
     # kernel / units
     "ClockSpec",
     "Simulator",

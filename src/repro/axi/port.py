@@ -146,6 +146,7 @@ class MasterPort:
     # ------------------------------------------------------------------
     # master-facing API
     # ------------------------------------------------------------------
+    # repro: hot -- once per transaction
     def submit(self, txn: Transaction) -> None:
         """Present a new transaction's address phase to the port."""
         if self._interconnect is None:
@@ -197,6 +198,7 @@ class MasterPort:
             return []
         return [head]
 
+    # repro: hot -- once per arbitration pass
     def head(self, want_write: Optional[bool] = None) -> Optional[Transaction]:
         """Return an eligible head-of-line transaction, or None.
 
@@ -229,6 +231,7 @@ class MasterPort:
             return txn
         return None
 
+    # repro: hot
     def accept_head(self, want_write: Optional[bool] = None) -> Transaction:
         """The interconnect accepted this port's head transaction."""
         if self.config.split_channels and want_write is None:
@@ -253,6 +256,7 @@ class MasterPort:
         self._samp_queueing.record(txn.accepted - txn.issued)
         return txn
 
+    # repro: hot
     def complete(self, txn: Transaction) -> None:
         """A response for ``txn`` arrived back at the master."""
         if self._outstanding <= 0:

@@ -1,0 +1,63 @@
+"""Baseline files: grandfathered lint findings.
+
+A baseline lets the lint gate turn on while known findings are paid
+down incrementally: fingerprints recorded in the baseline are
+reported but do not fail the run; any *new* finding still does.  The
+shipped tree keeps an **empty** baseline (``repro check lint src/``
+is clean); the mechanism exists so a future rule can land before its
+cleanup is finished without weakening the gate for everything else.
+
+Format (JSON, counts per fingerprint so duplicates stay bounded)::
+
+    {"version": 1, "findings": {"<fingerprint>": <count>, ...}}
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Dict, Iterable
+
+from repro.checks.findings import Finding
+from repro.errors import LintError
+
+#: Default baseline location, relative to the working directory.
+DEFAULT_BASELINE = ".repro-lint-baseline.json"
+
+_VERSION = 1
+
+
+def load_baseline(path: str) -> Dict[str, int]:
+    """Read a baseline file into a fingerprint -> count mapping.
+
+    Raises:
+        LintError: when the file exists but is malformed.
+    """
+    if not os.path.exists(path):
+        return {}
+    try:
+        with open(path, encoding="utf-8") as fh:
+            payload = json.load(fh)
+        if payload.get("version") != _VERSION:
+            raise ValueError(f"unsupported version {payload.get('version')!r}")
+        findings = payload["findings"]
+        return {
+            str(fp): int(count)
+            for fp, count in findings.items()
+            if int(count) > 0
+        }
+    except (OSError, ValueError, KeyError, AttributeError, TypeError) as exc:
+        raise LintError(f"corrupt baseline {path}: {exc}") from exc
+
+
+def write_baseline(path: str, findings: Iterable[Finding]) -> Dict[str, int]:
+    """Record ``findings`` as the new baseline; returns the mapping."""
+    counts: Dict[str, int] = {}
+    for finding in findings:
+        fp = finding.fingerprint()
+        counts[fp] = counts.get(fp, 0) + 1
+    payload = {"version": _VERSION, "findings": dict(sorted(counts.items()))}
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    return counts

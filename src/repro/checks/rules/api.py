@@ -1,0 +1,73 @@
+"""API: surface hygiene.
+
+Small, generic rules that keep the import graph and call signatures
+honest: wildcard imports defeat both readers and the other rule
+families (call-site provenance becomes unknowable), and mutable
+default arguments are shared across calls -- a classic source of
+state bleeding between experiments that is indistinguishable from
+nondeterminism when it bites.
+"""
+
+from __future__ import annotations
+
+import ast
+from itertools import chain
+from typing import Iterable
+
+from repro.checks.engine import ModuleContext, Rule, rule
+from repro.checks.findings import Finding
+
+_MUTABLE_LITERALS = (ast.List, ast.Dict, ast.Set, ast.ListComp, ast.DictComp,
+                     ast.SetComp)
+_MUTABLE_CALLS = ("list", "dict", "set", "bytearray", "deque", "defaultdict",
+                  "Counter", "OrderedDict")
+
+
+@rule
+class WildcardImportRule(Rule):
+    """``from x import *`` makes provenance unknowable."""
+
+    id = "API001"
+    family = "API"
+    description = "wildcard import"
+
+    def check(self, ctx: ModuleContext) -> Iterable[Finding]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.ImportFrom) and any(
+                alias.name == "*" for alias in node.names
+            ):
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"wildcard import from {node.module!r}; import names "
+                    "explicitly",
+                )
+
+
+@rule
+class MutableDefaultRule(Rule):
+    """Mutable default arguments are shared across calls."""
+
+    id = "API002"
+    family = "API"
+    description = "mutable default argument"
+
+    def _is_mutable(self, node: ast.AST) -> bool:
+        if isinstance(node, _MUTABLE_LITERALS):
+            return True
+        if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+            return node.func.id in _MUTABLE_CALLS and not node.args \
+                and not node.keywords
+        return False
+
+    def check(self, ctx: ModuleContext) -> Iterable[Finding]:
+        for fn in ctx.functions:
+            args = fn.node.args
+            for default in chain(args.defaults, args.kw_defaults):
+                if default is not None and self._is_mutable(default):
+                    yield self.finding(
+                        ctx,
+                        default,
+                        f"mutable default in {fn.qualname}(); default to "
+                        "None and build the container inside",
+                    )

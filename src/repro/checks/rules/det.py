@@ -1,0 +1,205 @@
+"""DET: determinism rules.
+
+Simulation results must depend only on the experiment config and its
+seed.  These rules reject the usual ways nondeterminism leaks in:
+wall-clock reads, the process-global ``random`` module, environment
+reads outside the declared config layer, and iteration over sets in
+packages whose dispatch order reaches reported numbers.
+
+The config layer is opt-in and explicit: a module whose job is
+resolving environment knobs declares itself with a
+``# repro: config-layer`` comment, which exempts it from DET003.
+:mod:`repro.sim.rng` is the one module allowed to touch ``random``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Iterator
+
+from repro.checks.engine import ModuleContext, Rule, rule
+from repro.checks.findings import Finding
+
+#: The one module allowed to import/construct from ``random``.
+_RNG_MODULE = "repro/sim/rng.py"
+
+#: Wall-clock call sites: (module-ish value name, attribute).
+_WALL_CLOCK = {
+    ("time", "time"),
+    ("time", "time_ns"),
+    ("time", "monotonic"),
+    ("time", "monotonic_ns"),
+    ("datetime", "now"),
+    ("datetime", "utcnow"),
+    ("datetime", "today"),
+    ("date", "today"),
+}
+
+#: Packages where iteration order reaches reported results.
+_ORDER_SENSITIVE = ("repro/sim/", "repro/axi/", "repro/dram/", "repro/regulation/")
+
+
+def _walk(tree: ast.AST) -> Iterator[ast.AST]:
+    return ast.walk(tree)
+
+
+def _dotted(node: ast.AST) -> str:
+    """``a.b.c`` for nested name/attribute chains, else ``""``."""
+    parts = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return ""
+
+
+@rule
+class WallClockRule(Rule):
+    """No wall-clock reads on result-producing paths.
+
+    ``time.perf_counter`` is deliberately *not* flagged: it feeds
+    telemetry (profiler, runner wall times), never simulated results.
+    """
+
+    id = "DET001"
+    family = "DET"
+    description = "wall-clock read (time.time/datetime.now) is nondeterministic"
+
+    def check(self, ctx: ModuleContext) -> Iterable[Finding]:
+        for node in _walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if not isinstance(func, ast.Attribute):
+                continue
+            base = func.value
+            base_name = base.id if isinstance(base, ast.Name) else (
+                base.attr if isinstance(base, ast.Attribute) else ""
+            )
+            if (base_name, func.attr) in _WALL_CLOCK:
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"wall-clock read {_dotted(func) or func.attr}(); "
+                    "results must depend only on config + seed",
+                )
+
+
+@rule
+class GlobalRandomRule(Rule):
+    """The global ``random`` module stays out of everything but
+    :mod:`repro.sim.rng`.
+
+    Components draw from per-component streams seeded from
+    ``(experiment_seed, component_name)`` -- import the RNG type and
+    constructors from ``repro.sim.rng`` instead.
+    """
+
+    id = "DET002"
+    family = "DET"
+    description = "global random module used outside repro.sim.rng"
+
+    def check(self, ctx: ModuleContext) -> Iterable[Finding]:
+        if ctx.rel == _RNG_MODULE:
+            return
+        for node in _walk(ctx.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name == "random" or alias.name.startswith("random."):
+                        yield self.finding(
+                            ctx,
+                            node,
+                            "import of the global random module; use the "
+                            "seeded streams in repro.sim.rng",
+                        )
+            elif isinstance(node, ast.ImportFrom):
+                if node.module == "random" and node.level == 0:
+                    yield self.finding(
+                        ctx,
+                        node,
+                        "from random import ...; use the seeded streams "
+                        "in repro.sim.rng",
+                    )
+
+
+@rule
+class EnvReadRule(Rule):
+    """Environment reads only in the declared config layer.
+
+    A knob read mid-run is invisible to the experiment's content hash
+    (the result cache would serve stale entries) and to anyone
+    reproducing a table.  Modules that resolve env knobs declare
+    ``# repro: config-layer``; everything else takes configuration as
+    arguments.
+    """
+
+    id = "DET003"
+    family = "DET"
+    description = "os.environ read outside the config layer"
+
+    def check(self, ctx: ModuleContext) -> Iterable[Finding]:
+        if ctx.rel == _RNG_MODULE or "config-layer" in ctx.markers:
+            return
+        for node in _walk(ctx.tree):
+            if isinstance(node, ast.Call):
+                dotted = _dotted(node.func)
+                if dotted in ("os.getenv", "os.environ.get", "environ.get"):
+                    yield self.finding(
+                        ctx,
+                        node,
+                        f"{dotted}() outside the config layer; mark the "
+                        "module '# repro: config-layer' or pass the value in",
+                    )
+            elif isinstance(node, ast.Subscript) and isinstance(
+                node.ctx, ast.Load
+            ):
+                if _dotted(node.value) in ("os.environ", "environ"):
+                    yield self.finding(
+                        ctx,
+                        node,
+                        "os.environ[...] read outside the config layer",
+                    )
+
+
+@rule
+class SetIterationRule(Rule):
+    """No iteration over sets where order can reach results.
+
+    Set iteration order varies with insertion history and hash
+    salting; inside the simulation packages it silently changes
+    dispatch order.  Wrap the iterable in ``sorted(...)`` or use a
+    list/dict (insertion-ordered) instead.
+    """
+
+    id = "DET004"
+    family = "DET"
+    description = "iteration over a set in an order-sensitive package"
+
+    def _is_set_expr(self, node: ast.AST) -> bool:
+        if isinstance(node, (ast.Set, ast.SetComp)):
+            return True
+        if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+            return node.func.id in ("set", "frozenset")
+        return False
+
+    def check(self, ctx: ModuleContext) -> Iterable[Finding]:
+        rel = ctx.rel
+        if rel is not None and not rel.startswith(_ORDER_SENSITIVE):
+            return
+        for node in _walk(ctx.tree):
+            iters = []
+            if isinstance(node, (ast.For, ast.AsyncFor)):
+                iters.append(node.iter)
+            elif isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp,
+                                   ast.GeneratorExp)):
+                iters.extend(gen.iter for gen in node.generators)
+            for it in iters:
+                if self._is_set_expr(it):
+                    yield self.finding(
+                        ctx,
+                        node,
+                        "iterating a set here makes dispatch order depend "
+                        "on hashing; sort it or use a list/dict",
+                    )

@@ -1,0 +1,45 @@
+"""ERR: error hygiene.
+
+Library code raises :mod:`repro.errors` subclasses so callers can
+catch one type at the API boundary (the CLI turns ``ReproError`` into
+exit code 2).  Blanket builtins -- ``Exception``, ``RuntimeError``,
+``BaseException`` -- defeat that and are rejected; precise builtins
+for programmer error (``TypeError``, ``ValueError``, ``KeyError``,
+``IndexError``, ``NotImplementedError``, ...) remain fine.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from repro.checks.engine import ModuleContext, Rule, rule
+from repro.checks.findings import Finding
+
+#: Exception names whose *raising* is always a finding.
+_BANNED = ("Exception", "BaseException", "RuntimeError")
+
+
+@rule
+class BlanketRaiseRule(Rule):
+    """Raise a :mod:`repro.errors` subclass, not a blanket builtin."""
+
+    id = "ERR001"
+    family = "ERR"
+    description = "raise of Exception/RuntimeError instead of repro.errors"
+
+    def check(self, ctx: ModuleContext) -> Iterable[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Raise) or node.exc is None:
+                continue
+            exc = node.exc
+            if isinstance(exc, ast.Call):
+                exc = exc.func
+            name = exc.id if isinstance(exc, ast.Name) else ""
+            if name in _BANNED:
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"raise {name}: use a repro.errors subclass (or a "
+                    "precise builtin like TypeError/ValueError)",
+                )

@@ -1,0 +1,110 @@
+"""TEL: telemetry discipline.
+
+The telemetry subsystem's overhead contract (PR 3) holds only if
+components resolve their metric handles **once, at construction**,
+and then update plain attributes on their event paths.  A
+``get_registry()`` call inside an event handler re-runs the registry
+lookup (and, with labels, a dict build + sort) per event -- precisely
+the cost the null-handle design exists to avoid.
+
+Allowed handle-binding contexts:
+
+* module scope (constants, module-level singletons);
+* ``__init__`` methods;
+* functions carrying a ``# repro: telemetry-bind`` anchor comment
+  (construction-time binding hooks such as ``Regulator.bind_port``);
+* anything inside the :mod:`repro.telemetry` package itself.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Optional
+
+from repro.checks.engine import FunctionInfo, ModuleContext, Rule, rule
+from repro.checks.findings import Finding
+
+_HANDLE_METHODS = ("counter", "gauge", "histogram")
+
+
+def _enclosing_function(
+    ctx: ModuleContext, node: ast.AST
+) -> Optional[FunctionInfo]:
+    """Innermost function whose span contains ``node`` (None = module)."""
+    best: Optional[FunctionInfo] = None
+    line = getattr(node, "lineno", 0)
+    for fn in ctx.functions:
+        fn_node = fn.node
+        end = getattr(fn_node, "end_lineno", fn_node.lineno)
+        if fn_node.lineno <= line <= end:
+            if best is None or fn_node.lineno >= best.node.lineno:
+                best = fn
+    return best
+
+
+@rule
+class HandleBindingRule(Rule):
+    """``get_registry()`` only at construction time."""
+
+    id = "TEL001"
+    family = "TEL"
+    description = "telemetry handle resolved outside construction"
+
+    def check(self, ctx: ModuleContext) -> Iterable[Finding]:
+        rel = ctx.rel
+        if rel is not None and rel.startswith("repro/telemetry/"):
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            name = func.id if isinstance(func, ast.Name) else (
+                func.attr if isinstance(func, ast.Attribute) else ""
+            )
+            if name != "get_registry":
+                continue
+            fn = _enclosing_function(ctx, node)
+            if fn is None:
+                continue  # module scope binds once per process
+            if fn.node.name == "__init__" or "telemetry-bind" in fn.anchors:
+                continue
+            yield self.finding(
+                ctx,
+                node,
+                f"get_registry() inside {fn.qualname}(); resolve handles "
+                "in __init__ or a '# repro: telemetry-bind' hook, then "
+                "update the bound handle",
+            )
+
+
+@rule
+class LiteralLabelsRule(Rule):
+    """Metric label sets must be literal keyword arguments.
+
+    ``registry.counter(name, **labels)`` hides the label schema from
+    both the reader and this linter, and builds a dict per call; spell
+    the labels out (``master=self.name``) so the set is fixed at the
+    call site.
+    """
+
+    id = "TEL002"
+    family = "TEL"
+    description = "non-literal metric label set (** expansion)"
+
+    def check(self, ctx: ModuleContext) -> Iterable[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if not (
+                isinstance(func, ast.Attribute)
+                and func.attr in _HANDLE_METHODS
+            ):
+                continue
+            if any(kw.arg is None for kw in node.keywords):
+                yield self.finding(
+                    ctx,
+                    node,
+                    f".{func.attr}(**...) hides the label set; pass "
+                    "literal keyword labels",
+                )

@@ -9,6 +9,8 @@ Small, scriptable front-ends over the experiment API::
     python -m repro bound --hogs 4
     python -m repro profile --hogs 4
     python -m repro trace --export perfetto --out trace.json
+    python -m repro check lint src/
+    python -m repro check sanitize --diff
 
 Every subcommand prints an aligned table on stdout and returns a
 process exit code (0 = success), so the CLI slots into shell
@@ -253,6 +255,62 @@ def cmd_trace(args) -> int:
     return 0
 
 
+def cmd_check(args) -> int:
+    if args.check_command == "lint":
+        from repro.checks.lint import format_rule_catalogue, run_lint
+
+        if args.list_rules:
+            print(format_rule_catalogue())
+            return 0
+        return run_lint(
+            args.paths or ["src"],
+            baseline_path=args.baseline,
+            fmt=args.format,
+            update_baseline=args.write_baseline,
+        )
+    if args.check_command == "sanitize":
+        return _cmd_check_sanitize(args)
+    raise ReproError(f"unhandled check subcommand {args.check_command!r}")
+
+
+def _cmd_check_sanitize(args) -> int:
+    import io
+    import os
+    from contextlib import redirect_stdout
+
+    from repro.checks.sanitize import SANITIZE_ENV
+
+    def render() -> str:
+        buffer = io.StringIO()
+        with redirect_stdout(buffer):
+            cmd_regulate(args)
+        return buffer.getvalue()
+
+    # The CLI *sets* the sanitizer knob for the child runs and must
+    # restore whatever the caller had.  # repro: allow[DET003]
+    previous = os.environ.get(SANITIZE_ENV)
+    try:
+        os.environ[SANITIZE_ENV] = "1"
+        sanitized = render()
+        if not args.diff:
+            print(sanitized, end="")
+            print("sanitizer: no invariant violations")
+            return 0
+        os.environ.pop(SANITIZE_ENV, None)
+        plain = render()
+    finally:
+        if previous is None:
+            os.environ.pop(SANITIZE_ENV, None)
+        else:
+            os.environ[SANITIZE_ENV] = previous
+    print(sanitized, end="")
+    if sanitized != plain:
+        print("sanitizer DIFF: sanitized run diverged from the plain run")
+        return 1
+    print("sanitizer: no invariant violations; outputs byte-identical")
+    return 0
+
+
 def cmd_bound(args) -> int:
     dram = zcu102_dram()
     bound = worst_case_read_latency(
@@ -379,6 +437,41 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--work-conserving", action="store_true")
     p.add_argument("--reclaim", action="store_true")
     p.set_defaults(fn=cmd_trace)
+
+    p = sub.add_parser(
+        "check", help="correctness tooling (invariant lint, kernel sanitizer)"
+    )
+    check_sub = p.add_subparsers(dest="check_command", required=True)
+
+    c = check_sub.add_parser(
+        "lint", help="AST lint: determinism, hot-path, telemetry rules"
+    )
+    c.add_argument("paths", nargs="*", help="files/directories (default: src)")
+    c.add_argument("--format", default="human", choices=["human", "json"])
+    c.add_argument("--baseline", default=None,
+                   help="baseline file (default .repro-lint-baseline.json)")
+    c.add_argument("--write-baseline", action="store_true",
+                   help="record current findings as the new baseline")
+    c.add_argument("--list-rules", action="store_true",
+                   help="print the rule catalogue and exit")
+    c.set_defaults(fn=cmd_check)
+
+    c = check_sub.add_parser(
+        "sanitize",
+        help="run one regulated scenario under the kernel sanitizer",
+    )
+    c.add_argument("--diff", action="store_true",
+                   help="also run unsanitized and require identical output")
+    c.add_argument("--kind", default="tightly_coupled",
+                   choices=["none", "tightly_coupled", "memguard"])
+    c.add_argument("--share", type=float, default=0.1)
+    c.add_argument("--window", type=int, default=256)
+    c.add_argument("--period", type=int, default=100_000)
+    c.add_argument("--hogs", type=int, default=2)
+    c.add_argument("--work", type=int, default=1000)
+    c.add_argument("--work-conserving", action="store_true")
+    c.add_argument("--reclaim", action="store_true")
+    c.set_defaults(fn=cmd_check)
 
     p = sub.add_parser("report", help="full scenario report")
     p.add_argument("--kind", default="tightly_coupled",

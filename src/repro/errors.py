@@ -40,3 +40,36 @@ class RegulationError(ReproError):
     Examples: a negative budget, a zero-length replenish window, or
     charging a transaction that was never admitted.
     """
+
+
+class CacheError(ReproError):
+    """A result-cache entry is unreadable or inconsistent.
+
+    Raised (and caught) internally by :mod:`repro.runner.cache` to
+    mark a poisoned entry; poisoning costs a recompute, never
+    correctness, so this error does not normally escape the cache.
+    """
+
+
+class CheckError(ReproError):
+    """Base class for the correctness-tooling layer (``repro.checks``)."""
+
+
+class LintError(CheckError):
+    """The static lint engine itself failed.
+
+    Examples: an unreadable or syntactically invalid input file, a
+    corrupt baseline file, or a rule registered under a duplicate id.
+    Rule *findings* are data, not exceptions; this error means the
+    engine could not produce findings at all.
+    """
+
+
+class SanitizerError(CheckError):
+    """The runtime kernel sanitizer detected an invariant violation.
+
+    Examples: a dispatch-time rewind, an event freed twice into the
+    pool, a freed event mutated before reuse, or scheduler occupancy
+    accounting that disagrees with the queue's actual contents.  The
+    message carries the offending event's provenance.
+    """

@@ -45,6 +45,7 @@ class BandwidthRegulator:
     # ------------------------------------------------------------------
     # wiring
     # ------------------------------------------------------------------
+    # repro: telemetry-bind -- one-time handle creation at wiring time
     def bind_port(self, port: "MasterPort") -> None:
         """Attach to the port this regulator polices."""
         if self.port is not None:

@@ -160,6 +160,7 @@ class MemGuardRegulator(BandwidthRegulator):
     # ------------------------------------------------------------------
     # wiring
     # ------------------------------------------------------------------
+    # repro: telemetry-bind -- one-time handle creation at wiring time
     def _on_bind(self, port: MasterPort) -> None:
         # The PMU counts actual data-bus traffic of this master.
         port.beat_observers.append(self._pmu_observe)

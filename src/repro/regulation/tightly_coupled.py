@@ -172,6 +172,7 @@ class TightlyCoupledRegulator(BandwidthRegulator):
     # ------------------------------------------------------------------
     # wiring
     # ------------------------------------------------------------------
+    # repro: telemetry-bind -- one-time handle creation at wiring time
     def _on_bind(self, port: MasterPort) -> None:
         # The IP's monitor half: per-window byte counts of the very
         # traffic it regulates.

@@ -19,11 +19,13 @@ Robustness rules:
 
 from __future__ import annotations
 
+# repro: config-layer -- this module resolves environment knobs
 import json
 import os
 import tempfile
 from typing import Optional
 
+from repro.errors import CacheError
 from repro.runner.spec import RunSpec
 from repro.runner.summary import RunSummary
 from repro.telemetry.log import get_logger
@@ -87,9 +89,9 @@ class ResultCache:
             with open(path) as fh:
                 payload = json.load(fh)
             if payload["schema"] != CACHE_SCHEMA:
-                raise ValueError(f"schema {payload['schema']!r}")
+                raise CacheError(f"schema {payload['schema']!r}")
             if payload["spec_hash"] != spec.content_hash():
-                raise ValueError("spec hash mismatch")
+                raise CacheError("spec hash mismatch")
             summary = RunSummary.from_dict(payload["summary"])
         except FileNotFoundError:
             self.misses += 1

@@ -19,6 +19,7 @@ semantics of a serial loop:
 
 from __future__ import annotations
 
+# repro: config-layer -- this module resolves environment knobs
 import os
 import time
 from dataclasses import dataclass, field

@@ -125,6 +125,7 @@ class CalendarQueue(EventPoolMixin):
     # ------------------------------------------------------------------
     # insertion
     # ------------------------------------------------------------------
+    # repro: hot
     def push(
         self,
         time: int,
@@ -213,6 +214,7 @@ class CalendarQueue(EventPoolMixin):
     # ------------------------------------------------------------------
     # the cursor scan
     # ------------------------------------------------------------------
+    # repro: hot -- cursor scan, amortized once per dispatched cycle
     def _settle(self) -> Optional[int]:
         """Advance the cursor to the earliest live event; purge shells.
 
@@ -277,6 +279,7 @@ class CalendarQueue(EventPoolMixin):
     # ------------------------------------------------------------------
     # removal
     # ------------------------------------------------------------------
+    # repro: hot
     def pop(self) -> Event:
         """Remove and return the earliest non-cancelled event.
 
@@ -301,6 +304,7 @@ class CalendarQueue(EventPoolMixin):
                 raise SimulationError("pop() on an empty event queue")
             bucket = self._front
 
+    # repro: hot
     def pop_if_at(self, time: int) -> Optional[Event]:
         """Pop the next live event only if it fires at ``time``.
 
@@ -334,6 +338,7 @@ class CalendarQueue(EventPoolMixin):
                 return None
             bucket = self._front
 
+    # repro: hot
     def peek_time(self) -> Optional[int]:
         """Return the firing time of the next live event, or None."""
         bucket = self._front

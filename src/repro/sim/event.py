@@ -155,6 +155,7 @@ class EventPoolMixin:
     _pool_allocations = 0
     _recycle_leaks = 0
 
+    # repro: hot -- pool fast path, once per push
     def _acquire(
         self,
         time: int,
@@ -178,6 +179,7 @@ class EventPoolMixin:
         event._queue = self
         return event
 
+    # repro: hot -- once per dispatched event
     def recycle(self, event: Event) -> None:
         """Return a dispatched event to the free list (if safe).
 
@@ -231,6 +233,7 @@ class EventQueue(EventPoolMixin):
         """Cancelled shells still occupying heap slots."""
         return self._cancelled_in_heap
 
+    # repro: hot
     def push(
         self,
         time: int,
@@ -285,6 +288,7 @@ class EventQueue(EventPoolMixin):
     # ------------------------------------------------------------------
     # removal
     # ------------------------------------------------------------------
+    # repro: hot
     def pop(self) -> Event:
         """Remove and return the earliest non-cancelled event.
 
@@ -300,6 +304,7 @@ class EventQueue(EventPoolMixin):
             return self._detach(event)
         raise SimulationError("pop() on an empty event queue")
 
+    # repro: hot
     def pop_if_at(self, time: int) -> Optional[Event]:
         """Pop the next live event only if it fires at ``time``.
 
@@ -321,6 +326,7 @@ class EventQueue(EventPoolMixin):
             return self._detach(entry[3])
         return None
 
+    # repro: hot
     def peek_time(self) -> Optional[int]:
         """Return the firing time of the next live event, or None."""
         heap = self._heap

@@ -28,8 +28,9 @@ on the knob; it exists for performance work and differential testing.
 from __future__ import annotations
 
 import os
-from typing import Any, Callable, Dict, List, Optional, Union
+from typing import Any, Callable, Dict, List, Optional
 
+from repro.checks.sanitize import SanitizingQueue, sanitize_enabled
 from repro.errors import ConfigError, SimulationError
 from repro.sim.calendar import CalendarQueue
 from repro.sim.event import Event, EventQueue
@@ -53,6 +54,8 @@ def resolve_scheduler(name: Optional[str] = None) -> str:
         ConfigError: for a name outside :data:`SCHEDULERS`.
     """
     if name is None:
+        # This *is* the REPRO_SCHED knob's resolution point; backends
+        # are bit-identical by contract.  # repro: allow[DET003]
         name = os.environ.get(SCHED_ENV, "").strip().lower() or _DEFAULT_SCHED
     else:
         name = name.strip().lower()
@@ -96,7 +99,12 @@ class Simulator:
 
     def __init__(self, scheduler: Optional[str] = None) -> None:
         self.scheduler = resolve_scheduler(scheduler)
-        self._queue: Union[CalendarQueue, EventQueue] = SCHEDULERS[self.scheduler]()
+        self._queue: Any = SCHEDULERS[self.scheduler]()
+        if sanitize_enabled():
+            # Debugging build: every queue operation runs through the
+            # invariant assertions of repro.checks.sanitize.  Dispatch
+            # order (and therefore every result) is unchanged.
+            self._queue = SanitizingQueue(self._queue)
         self._now = 0
         self._running = False
         self._finished = False
@@ -171,6 +179,7 @@ class Simulator:
     # ------------------------------------------------------------------
     # execution
     # ------------------------------------------------------------------
+    # repro: hot -- dispatch loop, runs once per event (repro.checks HOT rules)
     def run(self, until: Optional[int] = None) -> int:
         """Dispatch events until the queue drains or ``until`` is reached.
 
@@ -235,6 +244,7 @@ class Simulator:
         self._finished = True
         return self._now
 
+    # repro: hot -- instrumented twin of run(), same discipline
     def _run_profiled(self, until: Optional[int] = None) -> int:
         """Instrumented twin of :meth:`run` (profiler attached).
 
@@ -319,6 +329,7 @@ class Simulator:
         """
         self._stop_requested = True
 
+    # repro: hot
     def step(self) -> Optional[int]:
         """Dispatch exactly one event; returns its time or None if idle.
 

@@ -12,6 +12,12 @@ from __future__ import annotations
 import random
 import zlib
 
+#: The generator type handed out by :func:`component_rng`.  Modules
+#: outside this file import the *type* from here (for annotations and
+#: isinstance checks) instead of importing :mod:`random` directly --
+#: the DET002 lint rule enforces that every stream is created here.
+Rng = random.Random
+
 
 def component_rng(seed: int, name: str) -> random.Random:
     """Return a deterministic RNG unique to ``(seed, name)``.

@@ -12,6 +12,7 @@ handlers at all.
 
 from __future__ import annotations
 
+# repro: config-layer -- this module resolves environment knobs
 import logging
 import os
 from typing import Optional

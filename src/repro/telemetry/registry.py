@@ -29,6 +29,7 @@ The module keeps one default registry per process
 
 from __future__ import annotations
 
+# repro: config-layer -- this module resolves environment knobs
 import os
 from contextlib import contextmanager
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple, Union

@@ -14,12 +14,12 @@ load) that experiment E18 reproduces.
 
 from __future__ import annotations
 
-import random
 from dataclasses import dataclass, field
 from typing import Optional
 
 from repro.errors import ConfigError
 from repro.sim.kernel import Phase, Simulator
+from repro.sim.rng import Rng
 from repro.axi.port import MasterPort
 from repro.axi.txn import Transaction
 from repro.traffic.master import Master
@@ -52,7 +52,7 @@ class OpenLoopConfig:
     bytes_per_beat: int = 16
     write_ratio: float = 0.0
     num_requests: Optional[int] = None
-    rng: Optional[random.Random] = None
+    rng: Optional[Rng] = None
 
     def __post_init__(self) -> None:
         if self.pattern is None:

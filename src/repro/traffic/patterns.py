@@ -14,10 +14,10 @@ matters for DRAM behaviour:
 
 from __future__ import annotations
 
-import random
 from typing import Optional
 
 from repro.errors import ConfigError
+from repro.sim.rng import Rng, component_rng
 
 
 class AddressPattern:
@@ -128,13 +128,13 @@ class RandomPattern(AddressPattern):
         base: int,
         extent: int,
         access_bytes: int,
-        rng: Optional[random.Random] = None,
+        rng: Optional[Rng] = None,
     ) -> None:
         _check_region(base, extent, access_bytes)
         self.base = base
         self.extent = extent
         self.access_bytes = access_bytes
-        self.rng = rng or random.Random(0)
+        self.rng = rng or component_rng(0, "random-pattern")
         self._slots = extent // access_bytes
 
     def next_addr(self) -> int:
@@ -153,7 +153,7 @@ def make_pattern(
     extent: int,
     access_bytes: int,
     stride: Optional[int] = None,
-    rng: Optional[random.Random] = None,
+    rng: Optional[Rng] = None,
 ) -> AddressPattern:
     """Factory for the three pattern shapes.
 
