@@ -1,22 +1,32 @@
 #!/usr/bin/env python
 """Runner smoke benchmark: the experiment engine's trajectory log.
 
-Runs a fixed 8-point regulation sweep three ways -- in-process serial
-under each scheduler backend (``REPRO_SCHED=calendar|heap``) and once
-through the process pool -- asserts all three produce byte-identical
-summaries, then times the kernel's scheduler-stress probe under both
-backends.  The timings are appended to ``BENCH_runner.json`` so
-successive PRs accumulate a performance trajectory for the experiment
-engine and the simulation kernel under it.
+Runs a fixed 8-point regulation sweep four ways -- in-process serial
+under each scheduler backend (``REPRO_SCHED=calendar|heap``), under
+the adaptive selector (``REPRO_SCHED=auto``), and once through the
+process pool -- asserts all four produce byte-identical summaries,
+then times the kernel's scheduler-stress and batched-dispatch probes.
+The timings are appended to ``BENCH_runner.json`` so successive PRs
+accumulate a performance trajectory for the experiment engine and the
+simulation kernel under it.
 
-Appended records carry ``schema: 3`` and a ``kind`` discriminator:
+Appended records carry ``schema: 4`` and a ``kind`` discriminator:
 
 * ``runner_sweep``      -- serial vs process-pool wall time (plus the
-  scheduler label the sweep ran under);
+  scheduler label the sweep ran under and, for serial fallbacks, the
+  runner's ``fallback_reason``);
 * ``sched_sweep``       -- the same sweep, heap vs calendar backend:
   the measured end-to-end scheduler comparison;
+* ``auto_sched``        -- the same sweep under ``REPRO_SCHED=auto``
+  vs the better static backend, best-of-``AUTO_REPEATS`` wall times;
+  this record backs the perf gate (see below);
 * ``kernel_throughput`` -- raw scheduler events/s at a 128k-event
-  resident population, heap vs calendar (the E22 headline probe);
+  resident population, heap vs calendar (the E22 headline probe),
+  plus the batched dispatch loop's same-run Simulator-level rates at
+  the same population;
+* ``batch_dispatch``    -- batched vs per-event dispatch
+  (``REPRO_BATCH``) through ``Simulator.run`` at a tiny and at the
+  stress population, both backends, with same-run ratios;
 * ``runner_telemetry``  -- the pool run's execution report
   (:class:`repro.telemetry.RunnerTelemetry`: per-spec seconds,
   worker utilization, cache accounting), nested under ``telemetry``.
@@ -25,9 +35,13 @@ Usage::
 
     PYTHONPATH=src python scripts/bench_smoke.py [--out BENCH_runner.json]
 
-Exit code 0 = all row sets identical (speedups are reported, not
-asserted: CI boxes with one core legitimately see ~1x, and tiny
-populations legitimately favour the C-implemented heap).
+Exit code 0 = all row sets identical AND the auto gate holds: auto's
+best-of wall time may not exceed the better static backend's by more
+than ``AUTO_GATE_SLACK`` (the adaptive selector's whole contract is
+"never meaningfully worse than the best static choice").  Raw
+speedups remain reported, not asserted: CI boxes with one core
+legitimately see ~1x, and tiny populations legitimately favour the
+C-implemented heap.
 """
 
 from __future__ import annotations
@@ -47,7 +61,15 @@ from repro.sim.kernel import SCHED_ENV, resolve_scheduler  # noqa: E402
 from repro.soc.presets import zcu102  # noqa: E402
 
 #: Schema version stamped on every appended record.
-SCHEMA = 3
+SCHEMA = 4
+
+#: Sweep repetitions per scheduler for the auto gate; best-of filters
+#: the VM noise that single runs are hostage to.
+AUTO_REPEATS = 3
+
+#: The auto gate: auto's best-of wall time may exceed the better
+#: static backend's by at most this factor.
+AUTO_GATE_SLACK = 1.10
 
 #: The fixed 8-point grid: 4 shares x 2 windows, small critical work
 #: so the whole smoke run stays in seconds.
@@ -116,6 +138,54 @@ def kernel_throughput():
     return rates, STRESS_POPULATION
 
 
+def batch_dispatch_rates():
+    """Batched vs per-event Simulator dispatch, both backends, at a
+    tiny and at the stress population (same-run ratios)."""
+    from benchmarks.bench_e22_kernel import (
+        BACKENDS,
+        BATCH_POPULATIONS,
+        dispatch_throughput,
+    )
+
+    rows = []
+    for label, population in BATCH_POPULATIONS:
+        # Tiny populations finish instantly; give them enough events
+        # for a stable rate without stretching the stress run.
+        events = 100_000
+        for name, _ in BACKENDS:
+            batched = dispatch_throughput(name, True, population, events)
+            per_event = dispatch_throughput(name, False, population, events)
+            rows.append(
+                {
+                    "population_label": label,
+                    "population": population,
+                    "backend": name,
+                    "batched_events_s": round(batched),
+                    "per_event_events_s": round(per_event),
+                    "batched_vs_per_event": round(batched / per_event, 3),
+                }
+            )
+    return rows
+
+
+def auto_sweep_gate():
+    """Best-of-``AUTO_REPEATS`` sweep wall time per scheduler.
+
+    Returns ``(times, rows_by_sched)`` where ``times`` maps
+    ``auto``/``heap``/``calendar`` to best-of seconds.
+    """
+    times = {}
+    rows_by_sched = {}
+    for sched in ("heap", "calendar", "auto"):
+        best = None
+        for _ in range(AUTO_REPEATS):
+            rows, elapsed, _ = timed_run(max_workers=1, scheduler=sched)
+            rows_by_sched[sched] = rows
+            best = elapsed if best is None else min(best, elapsed)
+        times[sched] = best
+    return times, rows_by_sched
+
+
 def _timestamp():
     return time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime())
 
@@ -131,21 +201,29 @@ def main(argv=None) -> int:
 
     default_sched = resolve_scheduler()
 
-    # Three sweeps over the same grid: serial under each backend, then
-    # the process pool under the default backend.
-    calendar_rows, calendar_s, _ = timed_run(max_workers=1, scheduler="calendar")
-    heap_rows, heap_s, _ = timed_run(max_workers=1, scheduler="heap")
+    # Serial sweeps over the same grid under every scheduler (best-of
+    # repeats, shared with the auto gate), then the process pool under
+    # the default scheduler.
+    times, rows_by_sched = auto_sweep_gate()
+    calendar_rows = rows_by_sched["calendar"]
+    heap_s, calendar_s = times["heap"], times["calendar"]
     parallel_rows, parallel_s, parallel_runner = timed_run(max_workers=None)
-    mode = parallel_runner.last_stats.mode
+    stats = parallel_runner.last_stats
+    mode = stats.mode
 
-    if calendar_rows != heap_rows:
+    if calendar_rows != rows_by_sched["heap"]:
         print("FAIL: heap and calendar summaries differ", file=sys.stderr)
+        return 1
+    if calendar_rows != rows_by_sched["auto"]:
+        print("FAIL: auto and calendar summaries differ", file=sys.stderr)
         return 1
     if calendar_rows != parallel_rows:
         print("FAIL: serial and parallel summaries differ", file=sys.stderr)
         return 1
 
-    serial_s = calendar_s if default_sched == "calendar" else heap_s
+    serial_s = times.get(default_sched, calendar_s)
+    best_static = min(heap_s, calendar_s)
+    auto_ok = times["auto"] <= best_static * AUTO_GATE_SLACK
     workers = ParallelRunner().max_workers
     records = [
         {
@@ -154,6 +232,7 @@ def main(argv=None) -> int:
             "points": len(calendar_rows),
             "workers": workers,
             "parallel_mode": mode,
+            "fallback_reason": getattr(stats, "fallback_reason", None),
             "scheduler": default_sched,
             "serial_s": round(serial_s, 3),
             "parallel_s": round(parallel_s, 3),
@@ -173,9 +252,30 @@ def main(argv=None) -> int:
             "rows_identical": True,
             "timestamp": _timestamp(),
         },
+        {
+            "schema": SCHEMA,
+            "kind": "auto_sched",
+            "points": len(calendar_rows),
+            "repeats": AUTO_REPEATS,
+            "auto_s": round(times["auto"], 3),
+            "heap_s": round(heap_s, 3),
+            "calendar_s": round(calendar_s, 3),
+            "auto_vs_best_static": round(times["auto"] / best_static, 3)
+            if best_static
+            else None,
+            "gate_slack": AUTO_GATE_SLACK,
+            "gate_ok": auto_ok,
+            "timestamp": _timestamp(),
+        },
     ]
 
     rates, population = kernel_throughput()
+    batch_rows = batch_dispatch_rates()
+    stress_batch = {
+        row["backend"]: row
+        for row in batch_rows
+        if row["population_label"] == "stress"
+    }
     records.append(
         {
             "schema": SCHEMA,
@@ -185,6 +285,28 @@ def main(argv=None) -> int:
             "heap_events_s": round(rates["heap"]),
             "calendar_events_s": round(rates["calendar"]),
             "calendar_vs_heap": round(rates["calendar"] / rates["heap"], 3),
+            # Same-run Simulator-level rates at the same population:
+            # the batched dispatch loop's contribution on top of the
+            # raw queue figures above.
+            "calendar_batched_events_s": stress_batch["calendar"][
+                "batched_events_s"
+            ],
+            "heap_batched_events_s": stress_batch["heap"]["batched_events_s"],
+            "calendar_batched_vs_per_event": stress_batch["calendar"][
+                "batched_vs_per_event"
+            ],
+            "heap_batched_vs_per_event": stress_batch["heap"][
+                "batched_vs_per_event"
+            ],
+            "timestamp": _timestamp(),
+        }
+    )
+    records.append(
+        {
+            "schema": SCHEMA,
+            "kind": "batch_dispatch",
+            "probe": "dispatch_hold",
+            "rows": batch_rows,
             "timestamp": _timestamp(),
         }
     )
@@ -214,30 +336,52 @@ def main(argv=None) -> int:
     with open(out, "w") as fh:
         json.dump(history, fh, indent=2)
 
-    sweep, sched, kernel = records[:3]
-    telemetry = records[3]["telemetry"]
+    sweep, sched, auto, kernel = records[:4]
+    telemetry = records[-1]["telemetry"]
     print(
         f"bench_smoke: {sweep['points']} points, "
         f"serial {sweep['serial_s']}s ({default_sched}), "
         f"{mode} {sweep['parallel_s']}s (x{sweep['speedup']}, "
         f"{workers} workers)"
     )
+    if sweep["fallback_reason"]:
+        print(f"bench_smoke: pool fallback: {sweep['fallback_reason']}")
     print(
         f"bench_smoke: sched sweep heap {sched['heap_s']}s vs "
         f"calendar {sched['calendar_s']}s "
         f"(x{sched['calendar_vs_heap']} end-to-end)"
     )
     print(
+        f"bench_smoke: auto {auto['auto_s']}s vs best static "
+        f"{best_static:.3f}s (x{auto['auto_vs_best_static']}, "
+        f"best of {AUTO_REPEATS})"
+    )
+    print(
         f"bench_smoke: kernel stress {kernel['heap_events_s']} ev/s heap "
         f"vs {kernel['calendar_events_s']} ev/s calendar "
         f"(x{kernel['calendar_vs_heap']}) -> {out}"
     )
+    for row in batch_rows:
+        print(
+            f"bench_smoke: batch dispatch [{row['population_label']}/"
+            f"{row['backend']}] batched {row['batched_events_s']} ev/s vs "
+            f"per-event {row['per_event_events_s']} ev/s "
+            f"(x{row['batched_vs_per_event']})"
+        )
     print(
         f"bench_smoke: pool utilization "
         f"{telemetry['utilization']:.0%} over {telemetry['workers']} workers "
         f"({telemetry['executed']} executed, "
         f"{telemetry['cache_hits']} cache hits)"
     )
+    if not auto_ok:
+        print(
+            f"FAIL: auto scheduler {times['auto']:.3f}s exceeds the "
+            f"better static backend {best_static:.3f}s by more than "
+            f"{AUTO_GATE_SLACK:.0%}",
+            file=sys.stderr,
+        )
+        return 1
     return 0
 
 

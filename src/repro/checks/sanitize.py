@@ -174,6 +174,77 @@ class SanitizingQueue:
             self._check_unmutated(old, snap)
         self._tick()
 
+    # ------------------------------------------------------------------
+    # the batched dispatch protocol
+    # ------------------------------------------------------------------
+    def pop_cycle_batch(self, time, out, owner=None, limit=None) -> int:
+        """Batched twin of :meth:`pop_if_at` (one chunk per call).
+
+        Every delivered event runs through the same per-event checks
+        as a single pop (cancelled / freed / time-rewind / residency),
+        but the wrapper ticks once per *batch*, matching the kernel's
+        one-flush-per-cycle discipline.
+        """
+        before = len(out)
+        fg = self.inner.pop_cycle_batch(time, out, owner, limit)
+        for i in range(before, len(out)):
+            event = out[i][-1]  # entries are queue tuples, event last
+            if event.time != time:
+                self._violations += 1
+                raise SanitizerError(
+                    f"pop_cycle_batch({time}) delivered {_describe(event)}"
+                )
+            self._check_popped(event)
+        self._tick()
+        return fg
+
+    def requeue_batch(self, time, events, start) -> None:
+        """Restore an interrupted batch's tail (see the backends).
+
+        Requeued events become resident again; landing them back at
+        the just-dispatched cycle is legal (``push`` rejects only
+        times strictly below it).
+        """
+        self.inner.requeue_batch(time, events, start)
+        for i in range(start, len(events)):
+            event = events[i][-1]  # tail slots still hold entry tuples
+            if not event.cancelled:
+                self._resident[id(event)] = _describe(event)
+        self._tick()
+
+    def recycle_batch(self, events, count) -> None:
+        """Batched twin of :meth:`recycle`: one call per cycle.
+
+        Applies the same double-free / still-resident checks and the
+        same track-instead-of-delegate discipline (the snapshots pin
+        the objects, keeping ids valid and inner pooling disabled);
+        cancelled-in-batch shells are skipped exactly as the backends'
+        ``recycle_batch`` skips them.  Always clears the buffer --
+        with the sanitizer on, the inner pool must never see it.
+        """
+        for i in range(count):
+            event = events[i]
+            if event.cancelled:
+                continue
+            key = id(event)
+            if key in self._freed:
+                self._violations += 1
+                raise SanitizerError(
+                    f"double-free into the event pool: "
+                    f"{self._freed[key][1][4]} freed again as {_describe(event)}"
+                )
+            if key in self._resident:
+                self._violations += 1
+                raise SanitizerError(
+                    f"recycle of a still-queued event: {_describe(event)}"
+                )
+            self._freed[key] = (event, self._snapshot(event))
+        while len(self._freed) > _FREED_CAP:
+            _, (old, snap) = self._freed.popitem(last=False)
+            self._check_unmutated(old, snap)
+        del events[:]
+        self._tick()
+
     def clear(self) -> None:
         self.inner.clear()
         self._resident.clear()

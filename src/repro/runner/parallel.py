@@ -85,6 +85,16 @@ def _timed_execute(spec: RunSpec) -> Tuple[RunSummary, float]:
     return summary, time.perf_counter() - start
 
 
+def _execute_chunk(specs: Sequence[RunSpec]) -> List[Tuple[RunSummary, float]]:
+    """Pool-worker entry point: run a contiguous chunk of specs.
+
+    Module-level so it pickles; one submission per chunk amortizes the
+    executor's per-future spec round-trip over ``ceil(n / workers)``
+    runs instead of paying it per spec.
+    """
+    return [_timed_execute(spec) for spec in specs]
+
+
 def default_workers() -> int:
     """Worker count: ``REPRO_JOBS`` if set and positive, else CPU count."""
     value = os.environ.get(JOBS_ENV, "").strip()
@@ -120,6 +130,10 @@ class RunnerStats:
             lookups included).
         spec_seconds: Per-executed-spec simulation seconds, in the
             order the unique work list ran.
+        fallback_reason: Why the executed part ran serially (``None``
+            when it ran in a pool, or when nothing executed):
+            ``"max_workers=1"``, ``"single spec in batch"``, or the
+            exception that made the process pool unavailable.
     """
 
     total: int = 0
@@ -132,6 +146,7 @@ class RunnerStats:
     workers: int = 1
     wall_seconds: float = 0.0
     spec_seconds: List[float] = field(default_factory=list)
+    fallback_reason: Optional[str] = None
 
 
 class ParallelRunner:
@@ -228,11 +243,24 @@ class ParallelRunner:
         if workers > 1:
             try:
                 return self._execute_pool(specs, workers, stats)
-            except _PoolUnavailable:
+            except _PoolUnavailable as exc:
+                # Keep the cause: BENCH_runner.json reports showing
+                # "serial, 1 worker" are undiagnosable without it.
+                cause = exc.__cause__
+                stats.fallback_reason = (
+                    f"{type(cause).__name__}: {cause}"
+                    if cause is not None
+                    else "process pool unavailable"
+                )
                 _log.info(
-                    "process pool unavailable; running %d specs serially",
+                    "process pool unavailable (%s); running %d specs serially",
+                    stats.fallback_reason,
                     len(specs),
                 )
+        elif self.max_workers == 1:
+            stats.fallback_reason = "max_workers=1"
+        else:
+            stats.fallback_reason = "single spec in batch"
         stats.mode = "serial"
         stats.workers = 1
         results: List[RunSummary] = []
@@ -251,10 +279,16 @@ class ParallelRunner:
             from concurrent.futures.process import BrokenProcessPool
         except ImportError as exc:  # pragma: no cover - stdlib present
             raise _PoolUnavailable() from exc
+        # Contiguous chunks, one per worker: ceil(n / workers) specs
+        # travel per submission, and chunk-order reassembly equals
+        # spec-order reassembly, keeping results byte-identical to the
+        # serial loop.
+        size = -(-len(specs) // workers)
+        chunks = [specs[i : i + size] for i in range(0, len(specs), size)]
         try:
             with ProcessPoolExecutor(max_workers=workers) as pool:
-                futures = [pool.submit(_timed_execute, spec) for spec in specs]
-                pairs = [f.result() for f in futures]
+                futures = [pool.submit(_execute_chunk, c) for c in chunks]
+                pairs = [pair for f in futures for pair in f.result()]
         except (OSError, PermissionError, BrokenProcessPool) as exc:
             # Restricted environments (no /dev/shm, seccomp'd fork,
             # single-core cgroups) surface here; the batch still

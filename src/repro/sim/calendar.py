@@ -47,10 +47,10 @@ from __future__ import annotations
 
 import heapq
 from bisect import insort
-from typing import Callable, List, Optional, Tuple
+from typing import Any, Callable, List, Optional, Tuple
 
 from repro.errors import SimulationError
-from repro.sim.event import Event, EventPoolMixin, _COMPACT_MIN_HEAP
+from repro.sim.event import Event, EventPoolMixin, EventQueue, _COMPACT_MIN_HEAP
 
 #: Ring size (power of two): the near-future horizon, in cycles.
 #: Sized to cover DRAM timings, retry windows and arbitration delays
@@ -99,6 +99,13 @@ class CalendarQueue(EventPoolMixin):
         self._next_seq = 0
         self._live_foreground = 0
         self._cancelled_pending = 0
+        # Live (non-cancelled) daemon events resident in ring or
+        # overflow.  Together with ``_cancelled_pending == 0`` this
+        # gates the bulk batch-drain fast path: when both are zero,
+        # every bucket entry is a live foreground event and a cycle
+        # transfers with C-level bulk operations instead of a
+        # per-entry check loop.
+        self._live_daemons = 0
         self._pool: List[Event] = []
         # Telemetry: cold-path counters only (overflow pushes,
         # migrations, rewinds, compactions).  The ring push/pop fast
@@ -163,6 +170,8 @@ class CalendarQueue(EventPoolMixin):
             self._overflow_pushes += 1
         if not daemon:
             self._live_foreground += 1
+        else:
+            self._live_daemons += 1
         return event
 
     def _rewind(self, time: int) -> None:
@@ -298,6 +307,8 @@ class CalendarQueue(EventPoolMixin):
                     continue
                 if not event.daemon:
                     self._live_foreground -= 1
+                else:
+                    self._live_daemons -= 1
                 event._queue = None
                 return event
             if self._settle() is None:
@@ -331,12 +342,200 @@ class CalendarQueue(EventPoolMixin):
                     self._occupied &= ~_BIT[self._cursor & _MASK]
                 if not event.daemon:
                     self._live_foreground -= 1
+                else:
+                    self._live_daemons -= 1
                 event._queue = None
                 return event
             next_time = self._settle()
             if next_time is None or next_time != time:
                 return None
             bucket = self._front
+
+    # repro: hot -- batch drain, once per dispatched cycle (or chunk)
+    def pop_cycle_batch(
+        self,
+        time: int,
+        out: List[Any],
+        owner: object = None,
+        limit: Optional[int] = None,
+    ) -> int:
+        """Drain the live events firing at ``time`` into ``out``.
+
+        The batched dispatch protocol (see :meth:`Simulator.run`).
+        The settled cursor bucket is already sorted descending, so a
+        cycle transfers with one reversed scan -- no per-event
+        ``pop_if_at`` round-trips.  Cancelled shells are purged on the
+        way (same timing as the per-event purge: at delivery).
+        ``owner`` is installed as each event's ``_queue`` so mid-batch
+        ``cancel()`` calls stay observable to the dispatch loop.
+
+        ``limit`` caps how many entries one call delivers; dense
+        cycles drain in chunks so the dispatch loop's event-pool
+        working set stays cache-resident (a 10k+-event cycle in
+        flight at once makes every pool reuse a cold cache miss --
+        measured as a net batching *loss* at stress populations).
+        Undelivered same-cycle entries simply stay queued, where any
+        later same-cycle push sorts among them naturally, so chunking
+        cannot change dispatch order.
+
+        ``out`` receives the bucket's ``(priority, seq, event)`` entry
+        tuples (event last, priority third-from-last, matching
+        :meth:`EventQueue.pop_cycle_batch`), not bare events, so the
+        dispatch loop can release one tuple per callback instead of
+        this method freeing the whole cycle's tuples in one burst --
+        see the heap variant's docstring for why that burst is a
+        measured GC pathology.
+
+        Returns:
+            The number of *foreground* events appended.
+        """
+        bucket = self._front
+        if bucket is None or self._cursor != time:
+            if self._settle() != time:
+                return 0
+            bucket = self._front
+        chunked = limit is not None and len(bucket) > limit
+        if self._cancelled_pending == 0 and self._live_daemons == 0:
+            # Fast path: no cancelled shell anywhere in the queue and
+            # no live daemon means every entry in the bucket is a live
+            # foreground event, so the cycle (or chunk) transfers with
+            # C-level bulk operations (slice/reverse + extend); the
+            # only per-entry Python work left is the owner store that
+            # keeps mid-batch ``cancel()`` visible to the dispatch
+            # loop.
+            if chunked:
+                # Soonest entries sit at the descending bucket's end;
+                # the shortened bucket stays settled for the cycle's
+                # next chunk, so the cursor and occupancy bit hold.
+                chunk = bucket[-limit:]
+                del bucket[-limit:]
+                chunk.reverse()
+                for entry in chunk:
+                    entry[2]._queue = owner
+                out += chunk
+                fg = limit
+            else:
+                bucket.reverse()
+                for entry in bucket:
+                    entry[2]._queue = owner
+                out += bucket
+                fg = len(bucket)
+                del bucket[:]
+                self._occupied &= ~_BIT[time & _MASK]
+                self._front = None
+            self._ring_count -= fg
+            self._live_foreground -= fg
+            return fg
+        append = out.append
+        fg = 0
+        delivered = 0
+        drained = 0
+        for i in range(len(bucket) - 1, -1, -1):
+            if chunked and delivered == limit:
+                break
+            entry = bucket[i]
+            drained += 1
+            event = entry[2]
+            if event.cancelled:
+                self._cancelled_pending -= 1
+                continue
+            if not event.daemon:
+                fg += 1
+            else:
+                self._live_daemons -= 1
+            event._queue = owner
+            delivered += 1
+            append(entry)
+        self._ring_count -= drained
+        if drained == len(bucket):
+            del bucket[:]
+            self._occupied &= ~_BIT[time & _MASK]
+            self._front = None
+        else:
+            del bucket[-drained:]
+        self._live_foreground -= fg
+        return fg
+
+    def requeue_batch(self, time: int, entries: List[Any], start: int) -> None:
+        """Restore the undispatched tail ``entries[start:]`` to the ring.
+
+        Cold path (interrupted batches only); see
+        :meth:`EventQueue.requeue_batch` for the contract.  The batch
+        was drained from the cursor bucket at ``time``, and callbacks
+        can only have pushed at or after ``now``, so the cursor still
+        equals ``time`` and the original ``(priority, seq, event)``
+        tuples land back in their original bucket unchanged; the settle
+        scan re-sorts it before the next dispatch.
+        """
+        index = time & _MASK
+        bucket = self._ring[index]
+        for i in range(start, len(entries)):
+            entry = entries[i]
+            event = entry[2]
+            if event.cancelled:
+                event._queue = None
+                continue
+            event._queue = self
+            bucket.append(entry)
+            self._ring_count += 1
+            if not event.daemon:
+                self._live_foreground += 1
+            else:
+                self._live_daemons += 1
+        if bucket:
+            self._occupied |= _BIT[index]
+            self._front = None
+
+    @classmethod
+    def from_heap(cls, heap: "EventQueue") -> "CalendarQueue":
+        """Adopt a live :class:`EventQueue`'s contents and identity.
+
+        The migration path behind ``REPRO_SCHED=auto``: when a run's
+        live-event population crosses the promotion threshold, the
+        kernel transplants the heap's pending events (original times,
+        priorities and *sequence numbers*), its sequence counter and
+        its free-list pool into a fresh calendar queue.  Because both
+        backends dispatch globally by ``(time, priority, seq)`` and the
+        sequence counter continues uninterrupted, dispatch order after
+        the swap is bit-identical to either static backend.  Cancelled
+        shells are dropped during the transfer (their live accounting
+        already happened at cancel time).  The source heap is emptied
+        so it cannot be used by mistake afterwards.
+        """
+        queue = cls()
+        entries = heap._heap
+        base: Optional[int] = None
+        for entry in entries:
+            if not entry[3].cancelled and (base is None or entry[0] < base):
+                base = entry[0]
+        queue._next_seq = heap._next_seq
+        queue._pool = heap._pool
+        queue._pool_allocations = heap._pool_allocations
+        queue._recycle_leaks = heap._recycle_leaks
+        if base is not None:
+            queue._cursor = base
+        limit = queue._cursor + _BUCKETS
+        ring = queue._ring
+        for time, priority, seq, event in entries:
+            if event.cancelled:
+                event._queue = None
+                continue
+            if event.daemon:
+                queue._live_daemons += 1
+            event._queue = queue
+            if time < limit:
+                index = time & _MASK
+                ring[index].append((priority, seq, event))
+                queue._ring_count += 1
+                queue._occupied |= _BIT[index]
+            else:
+                heapq.heappush(queue._overflow, (time, priority, seq, event))
+        queue._live_foreground = heap._live_foreground
+        heap._heap = []
+        heap._pool = []
+        heap._live_foreground = 0
+        heap._cancelled_in_heap = 0
+        return queue
 
     # repro: hot
     def peek_time(self) -> Optional[int]:
@@ -365,6 +564,7 @@ class CalendarQueue(EventPoolMixin):
         self._occupied = 0
         self._live_foreground = 0
         self._cancelled_pending = 0
+        self._live_daemons = 0
 
     # ------------------------------------------------------------------
     # cancellation bookkeeping
@@ -373,6 +573,8 @@ class CalendarQueue(EventPoolMixin):
         """Account a cancellation of a still-resident event."""
         if not event.daemon:
             self._live_foreground -= 1
+        else:
+            self._live_daemons -= 1
         self._cancelled_pending += 1
         resident = self._ring_count + len(self._overflow)
         if resident >= _COMPACT_MIN_HEAP and self._cancelled_pending * 2 > resident:

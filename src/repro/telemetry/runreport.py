@@ -7,7 +7,7 @@ one batch's accounting into a :class:`RunnerTelemetry` record and
 writes it as a JSON report next to the results it describes, so a
 sweep leaves behind *how it ran* alongside *what it computed* --
 the record ``scripts/bench_smoke.py`` appends into
-``BENCH_runner.json`` (schema 3).
+``BENCH_runner.json`` (schema 4).
 """
 
 from __future__ import annotations
@@ -38,6 +38,9 @@ class RunnerTelemetry:
             execution-list order.
         utilization: Busy fraction of the worker pool:
             ``sum(spec_seconds) / (wall_seconds * workers)``.
+        fallback_reason: Why a serial batch did not use a pool
+            (``None`` for parallel batches); see
+            :class:`~repro.runner.parallel.RunnerStats`.
     """
 
     total: int
@@ -51,6 +54,7 @@ class RunnerTelemetry:
     wall_seconds: float
     spec_seconds: Tuple[float, ...] = field(default_factory=tuple)
     utilization: float = 0.0
+    fallback_reason: Optional[str] = None
 
     @classmethod
     def from_runner(cls, runner: "object") -> "RunnerTelemetry":
@@ -75,6 +79,7 @@ class RunnerTelemetry:
             wall_seconds=wall,
             spec_seconds=spec_seconds,
             utilization=(busy / (wall * workers)) if wall > 0 else 0.0,
+            fallback_reason=getattr(stats, "fallback_reason", None),
         )
 
     def to_dict(self) -> Dict[str, object]:

@@ -15,7 +15,7 @@ load) that experiment E18 reproduces.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import List, Optional
 
 from repro.errors import ConfigError
 from repro.sim.kernel import Phase, Simulator
@@ -24,6 +24,16 @@ from repro.axi.port import MasterPort
 from repro.axi.txn import Transaction
 from repro.traffic.master import Master
 from repro.traffic.patterns import AddressPattern
+
+try:  # numpy accelerates block precompute; exact scalar fallback below.
+    import numpy as _np
+except ImportError:  # pragma: no cover - numpy ships with the toolchain
+    _np = None
+
+#: Arrivals precomputed per block.  Large enough to amortize the
+#: vector/batch setup, small enough that endless processes bounded by
+#: ``run(until=...)`` never pre-draw far past the horizon.
+_ARRIVAL_BLOCK = 256
 
 
 @dataclass
@@ -88,6 +98,14 @@ class OpenLoopMaster(Master):
     requests pile up in the port queue and their measured latency
     includes the queueing -- exactly what happens to interrupt-driven
     traffic on a congested SoC.
+
+    Arrival times, addresses and read/write flags are precomputed in
+    blocks of :data:`_ARRIVAL_BLOCK` (gaps drawn sequentially from the
+    configured RNG so the stream order is exactly that of per-request
+    draws, absolute times by cumulative sum, addresses through
+    :meth:`AddressPattern.next_addr_block`); the per-arrival event
+    callback then only indexes the precomputed vectors and schedules
+    the next arrival at its already-known absolute cycle.
     """
 
     def __init__(
@@ -98,12 +116,22 @@ class OpenLoopMaster(Master):
         self._arrived = 0
         self._completed = 0
         self._write_accumulator = 0.0
+        self._planned = 0  # arrivals with gaps already drawn
+        self._block_base = 0  # absolute time of the last planned arrival
+        self._times: List[int] = []
+        self._addrs: List[int] = []
+        self._writes: List[bool] = []
+        self._pos = 0
 
     # ------------------------------------------------------------------
     # Master interface
     # ------------------------------------------------------------------
     def _start(self) -> None:
-        self._schedule_next_arrival()
+        self._block_base = self.sim.now
+        if self._refill():
+            self.sim.schedule_at(
+                self._times[0], self._arrive, priority=Phase.MASTER
+            )
 
     def _on_response(self, txn: Transaction) -> None:
         self._completed += 1
@@ -123,28 +151,93 @@ class OpenLoopMaster(Master):
             gap += cfg.rng.uniform(-cfg.jitter_cycles, cfg.jitter_cycles)
         return max(1, round(gap))
 
-    def _next_is_write(self) -> bool:
-        self._write_accumulator += self.config.write_ratio
-        if self._write_accumulator >= 1.0:
-            self._write_accumulator -= 1.0
-            return True
-        return False
+    def _refill(self) -> bool:
+        """Precompute the next block of arrivals; False when none remain.
 
-    def _schedule_next_arrival(self) -> None:
-        limit = self.config.num_requests
-        if limit is not None and self._arrived >= limit:
-            return
-        self.sim.schedule(self._next_gap(), self._arrive, priority=Phase.MASTER)
+        Determinism contract: a block refill performs *exactly* the
+        RNG calls the per-request implementation would, in the same
+        order.  Gap draws are sequential (``random.Random`` streams
+        cannot be vectorized); only the exact integer cumulative sum
+        is offloaded to numpy.  The write-mix accumulator keeps the
+        original float-by-float update sequence, so its rounding --
+        and therefore every read/write decision -- is unchanged.  When
+        the address pattern shares the arrival RNG, gap and address
+        draws are interleaved per request, again matching the
+        per-request order.
+        """
+        cfg = self.config
+        limit = cfg.num_requests
+        if limit is None:
+            n = _ARRIVAL_BLOCK
+        else:
+            n = min(_ARRIVAL_BLOCK, limit - self._planned)
+        if n <= 0:
+            return False
+        pattern = cfg.pattern
+        if getattr(pattern, "rng", None) is cfg.rng and cfg.rng is not None:
+            # Shared RNG: the per-request order is gap, address, gap,
+            # address, ...; block-drawing either stream whole would
+            # reorder the draws.
+            times: List[int] = []
+            addrs: List[int] = []
+            t = self._block_base
+            next_addr = pattern.next_addr
+            for _ in range(n):
+                t += self._next_gap()
+                times.append(t)
+                addrs.append(next_addr())
+        else:
+            gaps = [self._next_gap() for _ in range(n)]
+            if _np is not None and n >= 32:
+                times = (
+                    _np.cumsum(_np.asarray(gaps, dtype=_np.int64))
+                    + self._block_base
+                ).tolist()
+            else:
+                times = []
+                t = self._block_base
+                for gap in gaps:
+                    t += gap
+                    times.append(t)
+            addrs = pattern.next_addr_block(n)
+        writes: List[bool] = []
+        acc = self._write_accumulator
+        ratio = cfg.write_ratio
+        for _ in range(n):
+            acc += ratio
+            if acc >= 1.0:
+                acc -= 1.0
+                writes.append(True)
+            else:
+                writes.append(False)
+        self._write_accumulator = acc
+        self._times = times
+        self._addrs = addrs
+        self._writes = writes
+        self._pos = 0
+        self._planned += n
+        self._block_base = times[-1]
+        return True
 
     def _arrive(self) -> None:
+        pos = self._pos
         self._arrived += 1
         self.issue(
-            is_write=self._next_is_write(),
-            addr=self.config.pattern.next_addr(),
+            is_write=self._writes[pos],
+            addr=self._addrs[pos],
             burst_len=self.config.burst_len,
             bytes_per_beat=self.config.bytes_per_beat,
         )
-        self._schedule_next_arrival()
+        pos += 1
+        self._pos = pos
+        if pos < len(self._times):
+            self.sim.schedule_at(
+                self._times[pos], self._arrive, priority=Phase.MASTER
+            )
+        elif self._refill():
+            self.sim.schedule_at(
+                self._times[0], self._arrive, priority=Phase.MASTER
+            )
 
     # ------------------------------------------------------------------
     # reporting

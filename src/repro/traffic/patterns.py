@@ -14,10 +14,20 @@ matters for DRAM behaviour:
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import List, Optional
 
 from repro.errors import ConfigError
 from repro.sim.rng import Rng, component_rng
+
+try:  # numpy accelerates block generation; the scalar paths are exact
+    # fallbacks, so environments without it lose only speed.
+    import numpy as _np
+except ImportError:  # pragma: no cover - numpy ships with the toolchain
+    _np = None
+
+#: Block sizes below this stay on the scalar path (array round-trip
+#: overhead beats the vector win for short blocks).
+_VECTOR_MIN = 32
 
 
 class AddressPattern:
@@ -26,6 +36,18 @@ class AddressPattern:
     def next_addr(self) -> int:
         """Return the next byte address in the stream."""
         raise NotImplementedError
+
+    def next_addr_block(self, n: int) -> List[int]:
+        """Return the next ``n`` addresses, advancing the stream.
+
+        Exactly equivalent to ``n`` calls of :meth:`next_addr` --
+        same addresses, same end state, and (for stochastic patterns)
+        the same RNG draws in the same order.  Subclasses override
+        with vectorized or batched implementations; this default is
+        the correctness oracle they are tested against.
+        """
+        next_addr = self.next_addr
+        return [next_addr() for _ in range(n)]
 
     def reset(self) -> None:
         """Restart the stream from its initial state."""
@@ -68,6 +90,23 @@ class SequentialPattern(AddressPattern):
             self._offset = 0
         return addr
 
+    def next_addr_block(self, n: int) -> List[int]:
+        """Vectorized block: the linear walk is a closed-form modular
+        ramp (``slots`` valid offsets per period), so the whole block
+        is one numpy expression; integer arithmetic is exact, so the
+        result is bit-equal to ``n`` scalar calls."""
+        access = self.access_bytes
+        slots = self.extent // access
+        start = self._offset // access
+        if _np is not None and n >= _VECTOR_MIN:
+            ramp = _np.arange(start, start + n, dtype=_np.int64)
+            addrs = ((ramp % slots) * access + self.base).tolist()
+        else:
+            base = self.base
+            addrs = [base + ((start + i) % slots) * access for i in range(n)]
+        self._offset = ((start + n) % slots) * access
+        return addrs
+
     def reset(self) -> None:
         self._offset = 0
 
@@ -107,6 +146,37 @@ class StridedPattern(AddressPattern):
         self._offset = next_offset
         return addr
 
+    def next_addr_block(self, n: int) -> List[int]:
+        """Batched block: within one sweep the stride walk is an
+        arithmetic range, so the block is generated one whole pass at
+        a time (a C-level ``range`` extend) with the lane rotation
+        applied between passes -- identical addresses and end state to
+        ``n`` scalar calls, including the degenerate short-region
+        sweeps of one access each."""
+        out: List[int] = []
+        base = self.base
+        stride = self.stride
+        access = self.access_bytes
+        extent = self.extent
+        while n > 0:
+            x = self._offset
+            # Emissions left in this pass: the largest m with
+            # x + (m-1)*stride still emitted before the rotation check
+            # trips.  Clamped to 1 for offsets already past the edge
+            # (the scalar walk emits them too, then rotates).
+            m = (extent - access - x) // stride + 1
+            if m < 1:
+                m = 1
+            if m > n:
+                out.extend(range(base + x, base + x + n * stride, stride))
+                self._offset = x + n * stride
+                return out
+            out.extend(range(base + x, base + x + m * stride, stride))
+            self._lane = (self._lane + access) % stride
+            self._offset = self._lane
+            n -= m
+        return out
+
     def reset(self) -> None:
         self._offset = 0
         self._lane = 0
@@ -140,6 +210,17 @@ class RandomPattern(AddressPattern):
     def next_addr(self) -> int:
         slot = self.rng.randrange(self._slots)
         return self.base + slot * self.access_bytes
+
+    def next_addr_block(self, n: int) -> List[int]:
+        """Batched block: the draws must come from the injected RNG's
+        sequential stream (numpy cannot reproduce ``random.Random``),
+        so the win here is hoisting the attribute lookups out of the
+        per-request callback, not vectorizing the draws."""
+        base = self.base
+        access = self.access_bytes
+        slots = self._slots
+        randrange = self.rng.randrange
+        return [base + randrange(slots) * access for _ in range(n)]
 
     def reset(self) -> None:
         # Randomness is owned by the injected RNG; reset is a no-op by

@@ -14,7 +14,11 @@ from repro.runner import (
     RunSpec,
     execute_spec,
 )
-from repro.runner.parallel import default_workers
+from repro.runner.parallel import (
+    _PoolUnavailable,
+    _execute_chunk,
+    default_workers,
+)
 from repro.soc.presets import zcu102
 
 
@@ -141,6 +145,80 @@ class TestWorkerSelection:
     def test_invalid_worker_count_rejected(self):
         with pytest.raises(ConfigError):
             ParallelRunner(max_workers=0)
+
+
+class TestFallbackReason:
+    def test_max_workers_one_records_reason(self):
+        runner = ParallelRunner(max_workers=1)
+        runner.run([small_spec(), small_spec(seed=2)])
+        assert runner.last_stats.mode == "serial"
+        assert runner.last_stats.fallback_reason == "max_workers=1"
+
+    def test_single_spec_batch_records_reason(self):
+        runner = ParallelRunner(max_workers=4)
+        runner.run([small_spec()])
+        assert runner.last_stats.mode == "serial"
+        assert runner.last_stats.fallback_reason == "single spec in batch"
+
+    def test_parallel_batch_records_no_reason(self, spec_batch):
+        runner = ParallelRunner(max_workers=2)
+        runner.run(list(spec_batch))
+        if runner.last_stats.mode == "parallel":
+            assert runner.last_stats.fallback_reason is None
+        else:
+            # Pool unavailable on this box: the cause must be recorded.
+            assert runner.last_stats.fallback_reason
+
+    def test_warm_cache_batch_records_no_reason(self, tmp_path):
+        cache = ResultCache(root=str(tmp_path))
+        spec = small_spec()
+        ParallelRunner(max_workers=1, cache=cache).run([spec])
+        runner = ParallelRunner(max_workers=1, cache=cache)
+        runner.run([spec])
+        assert runner.last_stats.executed == 0
+        assert runner.last_stats.fallback_reason is None
+
+    def test_pool_failure_records_cause(
+        self, spec_batch, serial_batch, monkeypatch
+    ):
+        def broken_pool(specs, workers, stats):
+            raise _PoolUnavailable() from OSError("no /dev/shm")
+
+        monkeypatch.setattr(ParallelRunner, "_execute_pool", staticmethod(broken_pool))
+        runner = ParallelRunner(max_workers=2)
+        out = runner.run(list(spec_batch))
+        assert runner.last_stats.mode == "serial"
+        assert runner.last_stats.fallback_reason == "OSError: no /dev/shm"
+        assert [s.to_json() for s in out] == [
+            s.to_json() for s in serial_batch
+        ]
+
+    def test_telemetry_report_surfaces_reason(self):
+        from repro.telemetry import RunnerTelemetry
+
+        runner = ParallelRunner(max_workers=1)
+        runner.run([small_spec()])
+        report = RunnerTelemetry.from_runner(runner)
+        assert report.fallback_reason == "max_workers=1"
+        assert report.to_dict()["fallback_reason"] == "max_workers=1"
+
+
+class TestChunkedSubmission:
+    def test_worker_chunk_matches_direct_execution(self, spec_batch):
+        pairs = _execute_chunk(list(spec_batch))
+        assert [s.to_json() for s, _ in pairs] == [
+            execute_spec(s).to_json() for s in spec_batch
+        ]
+        assert all(seconds > 0 for _, seconds in pairs)
+
+    def test_uneven_batch_matches_serial_byte_identically(self):
+        # 5 specs over 2 workers -> chunks of 3 and 2; chunk-order
+        # reassembly must equal spec order.
+        specs = [small_spec(seed=s) for s in (11, 12, 13, 14, 15)]
+        expected = [execute_spec(s).to_json() for s in specs]
+        runner = ParallelRunner(max_workers=2)
+        out = runner.run(specs)
+        assert [s.to_json() for s in out] == expected
 
 
 class TestMonitorSpecs:

@@ -144,21 +144,32 @@ class TestStopAndFinalize:
 
 
 class TestSchedulerSelection:
-    def test_default_backend_is_calendar(self, monkeypatch):
+    def test_default_is_auto_starting_on_heap(self, monkeypatch):
         monkeypatch.delenv("REPRO_SCHED", raising=False)
-        assert Simulator().scheduler == "calendar"
+        sim = Simulator()
+        assert sim.scheduler == "auto"
+        assert sim.backend == "heap"
+        queue = getattr(sim._queue, "inner", sim._queue)  # unwrap sanitizer
+        assert isinstance(queue, EventQueue)
+
+    def test_static_backend_never_promotes(self):
+        sim = Simulator(scheduler="calendar")
+        assert sim.backend == "calendar"
+        assert sim._auto_pending is False
 
     def test_env_selects_backend(self, monkeypatch):
         monkeypatch.setenv("REPRO_SCHED", "heap")
         sim = Simulator()
         assert sim.scheduler == "heap"
-        assert isinstance(sim._queue, EventQueue)
+        queue = getattr(sim._queue, "inner", sim._queue)  # unwrap sanitizer
+        assert isinstance(queue, EventQueue)
 
     def test_argument_overrides_env(self, monkeypatch):
         monkeypatch.setenv("REPRO_SCHED", "heap")
         sim = Simulator(scheduler="calendar")
         assert sim.scheduler == "calendar"
-        assert isinstance(sim._queue, CalendarQueue)
+        queue = getattr(sim._queue, "inner", sim._queue)  # unwrap sanitizer
+        assert isinstance(queue, CalendarQueue)
 
     def test_names_are_normalized(self):
         assert resolve_scheduler("  Heap ") == "heap"
@@ -174,7 +185,7 @@ class TestSchedulerSelection:
 
     def test_empty_env_falls_back_to_default(self, monkeypatch):
         monkeypatch.setenv("REPRO_SCHED", "")
-        assert Simulator().scheduler == "calendar"
+        assert Simulator().scheduler == "auto"
 
     def test_registry_matches_backends(self):
         assert SCHEDULERS == {"calendar": CalendarQueue, "heap": EventQueue}

@@ -128,3 +128,85 @@ class TestPoissonArrivals:
         sim.run()
         mean_gap = master.finished_at / 400
         assert 0.7 * 50 < mean_gap < 1.3 * 50
+
+
+class TestRefillEquivalence:
+    """Block precompute must perform exactly the draws a per-request
+    implementation would, in the same order."""
+
+    def test_separate_rngs_gaps_then_addresses(self, sim, mini_norefresh):
+        from repro.traffic.patterns import RandomPattern
+
+        master = make_master(
+            sim,
+            mini_norefresh,
+            pattern=RandomPattern(0, 1 << 20, 64, rng=component_rng(5, "addr")),
+            arrival="poisson",
+            rng=component_rng(5, "gaps"),
+            num_requests=200,
+        )
+        assert master._refill()
+        # Oracle: gap draws are sequential from the arrival RNG...
+        gap_rng = component_rng(5, "gaps")
+        times, t = [], 0
+        for _ in range(200):
+            t += max(1, round(gap_rng.expovariate(1.0 / 100.0)))
+            times.append(t)
+        # ...and address draws sequential from the pattern RNG.
+        addr_rng = component_rng(5, "addr")
+        slots = (1 << 20) // 64
+        addrs = [addr_rng.randrange(slots) * 64 for _ in range(200)]
+        assert master._times == times
+        assert master._addrs == addrs
+
+    def test_shared_rng_interleaves_gap_and_address(self, sim, mini_norefresh):
+        from repro.traffic.patterns import RandomPattern
+
+        shared = component_rng(9, "shared")
+        master = make_master(
+            sim,
+            mini_norefresh,
+            pattern=RandomPattern(0, 1 << 16, 64, rng=shared),
+            arrival="poisson",
+            rng=shared,
+            num_requests=100,
+        )
+        assert master._refill()
+        oracle = component_rng(9, "shared")
+        slots = (1 << 16) // 64
+        times, addrs, t = [], [], 0
+        for _ in range(100):
+            t += max(1, round(oracle.expovariate(1.0 / 100.0)))
+            times.append(t)
+            addrs.append(oracle.randrange(slots) * 64)
+        assert master._times == times
+        assert master._addrs == addrs
+
+    def test_write_mix_accumulator_across_blocks(self, sim, mini_norefresh):
+        master = make_master(
+            sim, mini_norefresh, num_requests=600, write_ratio=0.3
+        )
+        writes = []
+        while master._refill():
+            writes.extend(master._writes)
+        acc, oracle = 0.0, []
+        for _ in range(600):
+            acc += 0.3
+            if acc >= 1.0:
+                acc -= 1.0
+                oracle.append(True)
+            else:
+                oracle.append(False)
+        assert writes == oracle
+        # Float accumulation of 0.3 drifts by at most one write over 600
+        # draws; the equivalence above is the real contract.
+        assert abs(sum(writes) - 180) <= 1
+
+    def test_blocks_chain_without_gaps_or_overlap(self, sim, mini_norefresh):
+        master = make_master(sim, mini_norefresh, num_requests=600)
+        times = []
+        while master._refill():
+            times.extend(master._times)
+        assert len(times) == 600
+        assert times == sorted(times)
+        assert times == [100 * (i + 1) for i in range(600)]

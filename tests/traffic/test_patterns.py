@@ -129,3 +129,80 @@ class TestPatternProperties:
         for _ in range(64):
             addr = p.next_addr()
             assert 0 <= addr and addr + access <= extent
+
+
+class TestBlockEquivalence:
+    """next_addr_block must be bit-equal to n next_addr calls --
+    same addresses, same end state, same RNG stream position."""
+
+    @staticmethod
+    def _assert_block_matches_scalar(make, sizes):
+        vectorized, scalar = make(), make()
+        for n in sizes:
+            block = vectorized.next_addr_block(n)
+            # The base-class implementation is the scalar oracle.
+            oracle = [scalar.next_addr() for _ in range(n)]
+            assert block == oracle
+        # End state: both streams continue identically.
+        assert [vectorized.next_addr() for _ in range(5)] == [
+            scalar.next_addr() for _ in range(5)
+        ]
+
+    @pytest.mark.parametrize(
+        "base,extent,access",
+        [
+            (0, 4096, 64),
+            (0x1000, 1000, 48),  # extent not a multiple of access
+            (0, 128, 64),  # two-slot degenerate wrap
+            (7, 130, 63),  # odd geometry
+        ],
+    )
+    def test_sequential(self, base, extent, access):
+        self._assert_block_matches_scalar(
+            lambda: SequentialPattern(base, extent, access),
+            sizes=(1, 5, 31, 32, 64, 200, 3),
+        )
+
+    @pytest.mark.parametrize(
+        "base,extent,stride,access",
+        [
+            (0, 4096, 256, 64),  # multi-pass with lane rotation
+            (0, 4096, 4096, 64),  # one emission per pass (m clamps to 1)
+            (0x2000, 1000, 144, 48),  # odd geometry, non-dividing stride
+            (0, 256, 64, 64),  # stride == access tail
+            (0, 200, 512, 16),  # stride beyond extent: always past edge
+        ],
+    )
+    def test_strided(self, base, extent, stride, access):
+        self._assert_block_matches_scalar(
+            lambda: StridedPattern(base, extent, stride, access),
+            sizes=(1, 7, 32, 100, 64, 2),
+        )
+
+    def test_random_preserves_rng_stream(self):
+        def make(seed_name="blockeq"):
+            return RandomPattern(
+                0, 1 << 16, 64, rng=component_rng(11, seed_name)
+            )
+
+        self._assert_block_matches_scalar(make, sizes=(1, 16, 64, 33))
+
+    @given(
+        extent_slots=st.integers(min_value=1, max_value=300),
+        access=st.sampled_from((16, 48, 64)),
+        stride_mult=st.integers(min_value=1, max_value=12),
+        sizes=st.lists(
+            st.integers(min_value=1, max_value=96), min_size=1, max_size=5
+        ),
+    )
+    def test_strided_property(self, extent_slots, access, stride_mult, sizes):
+        extent = extent_slots * access
+        stride = stride_mult * access // 2 + access  # varied, > 0
+        vectorized = StridedPattern(0, extent, stride, access)
+        scalar = StridedPattern(0, extent, stride, access)
+        for n in sizes:
+            assert vectorized.next_addr_block(n) == [
+                scalar.next_addr() for _ in range(n)
+            ]
+        assert vectorized._offset == scalar._offset
+        assert vectorized._lane == scalar._lane
