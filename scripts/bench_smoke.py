@@ -10,7 +10,7 @@ The timings are appended to ``BENCH_runner.json`` so successive PRs
 accumulate a performance trajectory for the experiment engine and the
 simulation kernel under it.
 
-Appended records carry ``schema: 4`` and a ``kind`` discriminator:
+Appended records carry ``schema: 5`` and a ``kind`` discriminator:
 
 * ``runner_sweep``      -- serial vs process-pool wall time (plus the
   scheduler label the sweep ran under and, for serial fallbacks, the
@@ -29,19 +29,26 @@ Appended records carry ``schema: 4`` and a ``kind`` discriminator:
   stress population, both backends, with same-run ratios;
 * ``runner_telemetry``  -- the pool run's execution report
   (:class:`repro.telemetry.RunnerTelemetry`: per-spec seconds,
-  worker utilization, cache accounting), nested under ``telemetry``.
+  worker utilization, cache accounting), nested under ``telemetry``;
+* ``runner_parallel``   -- the forced-parallel proof (new in schema
+  5): the automatically resolved worker count with its provenance
+  (affinity mask / cgroup quota / ``REPRO_JOBS``), plus the same
+  sweep under a forced ``REPRO_JOBS=2``, which must engage the pool
+  (no ``max_workers=1`` fallback) and stay byte-identical to the
+  serial rows -- this record backs the forced-parallel gate (see
+  below).
 
 Usage::
 
     PYTHONPATH=src python scripts/bench_smoke.py [--out BENCH_runner.json]
 
-Exit code 0 = all row sets identical AND the auto gate holds: auto's
+Exit code 0 = all row sets identical AND the auto gate holds (auto's
 best-of wall time may not exceed the better static backend's by more
-than ``AUTO_GATE_SLACK`` (the adaptive selector's whole contract is
-"never meaningfully worse than the best static choice").  Raw
-speedups remain reported, not asserted: CI boxes with one core
-legitimately see ~1x, and tiny populations legitimately favour the
-C-implemented heap.
+than ``AUTO_GATE_SLACK``) AND the forced-parallel gate holds (under
+``REPRO_JOBS=2`` the runner must actually use the pool and produce
+byte-identical rows).  Raw speedups remain reported, not asserted:
+CI boxes with one core legitimately see ~1x, and tiny populations
+legitimately favour the C-implemented heap.
 """
 
 from __future__ import annotations
@@ -56,12 +63,15 @@ _HERE = os.path.dirname(os.path.abspath(__file__))
 sys.path.insert(0, os.path.join(_HERE, "..", "src"))
 sys.path.insert(0, os.path.join(_HERE, ".."))
 
-from repro.runner import ParallelRunner, RunSpec  # noqa: E402
+from repro.runner import ParallelRunner, RunSpec, resolve_workers  # noqa: E402
 from repro.sim.kernel import SCHED_ENV, resolve_scheduler  # noqa: E402
 from repro.soc.presets import zcu102  # noqa: E402
 
 #: Schema version stamped on every appended record.
-SCHEMA = 4
+SCHEMA = 5
+
+#: Worker count forced (via ``REPRO_JOBS``) for the parallel proof.
+FORCED_JOBS = 2
 
 #: Sweep repetitions per scheduler for the auto gate; best-of filters
 #: the VM noise that single runs are hostage to.
@@ -114,6 +124,7 @@ def timed_run(max_workers, scheduler=None):
         start = time.perf_counter()
         summaries = runner.run(build_specs())
         elapsed = time.perf_counter() - start
+        runner.close()
     finally:
         if scheduler is not None:
             if previous is None:
@@ -121,6 +132,29 @@ def timed_run(max_workers, scheduler=None):
             else:
                 os.environ[SCHED_ENV] = previous
     return [s.to_json() for s in summaries], elapsed, runner
+
+
+def forced_parallel_run():
+    """The sweep under a forced ``REPRO_JOBS`` pool.
+
+    Environment-driven on purpose: this exercises the same resolution
+    path (`resolve_workers`) a user's ``REPRO_JOBS=N`` would, not the
+    explicit-argument shortcut.
+    """
+    previous = os.environ.get("REPRO_JOBS")
+    os.environ["REPRO_JOBS"] = str(FORCED_JOBS)
+    try:
+        runner = ParallelRunner(cache=None)
+        start = time.perf_counter()
+        summaries = runner.run(build_specs())
+        elapsed = time.perf_counter() - start
+        runner.close()
+    finally:
+        if previous is None:
+            os.environ.pop("REPRO_JOBS", None)
+        else:
+            os.environ["REPRO_JOBS"] = previous
+    return [s.to_json() for s in summaries], elapsed, runner.last_stats
 
 
 def kernel_throughput():
@@ -313,11 +347,43 @@ def main(argv=None) -> int:
 
     from repro.telemetry import RunnerTelemetry
 
+    telemetry = RunnerTelemetry.from_runner(parallel_runner).to_dict()
     records.append(
         {
             "schema": SCHEMA,
             "kind": "runner_telemetry",
-            "telemetry": RunnerTelemetry.from_runner(parallel_runner).to_dict(),
+            "telemetry": telemetry,
+            "timestamp": _timestamp(),
+        }
+    )
+
+    # The forced-parallel proof: REPRO_JOBS=2 must engage the pool on
+    # any box (the auto path above may legitimately resolve to one
+    # worker on a one-core runner) and must stay byte-identical.
+    auto_workers, auto_source = resolve_workers()
+    forced_rows, forced_s, forced_stats = forced_parallel_run()
+    forced_identical = forced_rows == calendar_rows
+    forced_ok = forced_stats.mode == "parallel" and forced_identical
+    records.append(
+        {
+            "schema": SCHEMA,
+            "kind": "runner_parallel",
+            "points": len(forced_rows),
+            "forced_jobs": FORCED_JOBS,
+            "mode": forced_stats.mode,
+            "workers": forced_stats.workers,
+            "worker_source": forced_stats.worker_source,
+            "fallback_reason": forced_stats.fallback_reason,
+            "recovered": forced_stats.recovered,
+            "auto_workers": auto_workers,
+            "auto_worker_source": auto_source,
+            "forced_s": round(forced_s, 3),
+            "serial_s": round(serial_s, 3),
+            "forced_speedup": round(serial_s / forced_s, 3)
+            if forced_s
+            else None,
+            "rows_identical": forced_identical,
+            "gate_ok": forced_ok,
             "timestamp": _timestamp(),
         }
     )
@@ -337,7 +403,6 @@ def main(argv=None) -> int:
         json.dump(history, fh, indent=2)
 
     sweep, sched, auto, kernel = records[:4]
-    telemetry = records[-1]["telemetry"]
     print(
         f"bench_smoke: {sweep['points']} points, "
         f"serial {sweep['serial_s']}s ({default_sched}), "
@@ -374,6 +439,23 @@ def main(argv=None) -> int:
         f"({telemetry['executed']} executed, "
         f"{telemetry['cache_hits']} cache hits)"
     )
+    print(
+        f"bench_smoke: auto workers {auto_workers} via {auto_source}; "
+        f"forced REPRO_JOBS={FORCED_JOBS} -> {forced_stats.mode}, "
+        f"{forced_stats.workers} workers, {forced_s:.3f}s "
+        f"(x{round(serial_s / forced_s, 3) if forced_s else '?'} vs serial)"
+    )
+    if not forced_ok:
+        reason = (
+            f"fell back to serial ({forced_stats.fallback_reason})"
+            if forced_stats.mode != "parallel"
+            else "produced non-identical rows"
+        )
+        print(
+            f"FAIL: forced REPRO_JOBS={FORCED_JOBS} sweep {reason}",
+            file=sys.stderr,
+        )
+        return 1
     if not auto_ok:
         print(
             f"FAIL: auto scheduler {times['auto']:.3f}s exceeds the "

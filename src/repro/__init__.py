@@ -76,7 +76,9 @@ from repro.runner import (
     ResultCache,
     RunSpec,
     RunSummary,
+    WorkerPool,
     execute_spec,
+    resolve_workers,
 )
 from repro.telemetry import (
     MetricsRegistry,
@@ -173,7 +175,9 @@ __all__ = [
     "ResultCache",
     "RunSpec",
     "RunSummary",
+    "WorkerPool",
     "execute_spec",
+    "resolve_workers",
     # telemetry
     "MetricsRegistry",
     "PhaseProfiler",

@@ -10,7 +10,7 @@ axes used for window-size sweeps.
 from __future__ import annotations
 
 import pickle
-from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence
+from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Union
 
 from repro.errors import ConfigError
 
@@ -21,7 +21,7 @@ def sweep(
     values: Iterable[Any],
     fn: Callable[[Any], Row],
     parallel: bool = False,
-    max_workers: Optional[int] = None,
+    max_workers: Optional[Union[int, str]] = None,
 ) -> List[Row]:
     """Run ``fn`` for each value; collect its row augmented results.
 
@@ -36,9 +36,13 @@ def sweep(
             For simulation grids prefer building
             :class:`~repro.runner.spec.RunSpec` lists and going
             through :class:`~repro.runner.parallel.ParallelRunner`,
-            which adds dedup and result caching on top.
-        max_workers: Pool size (``None`` = auto: ``REPRO_JOBS``
-            override, else CPU count).
+            which adds dedup, result caching, a persistent worker
+            pool, and single-flight claims on top.
+        max_workers: Pool size.  ``None`` or ``"auto"`` resolve the
+            affinity/cgroup-aware automatic count (``REPRO_JOBS``
+            override honoured -- see
+            :func:`repro.runner.parallel.resolve_workers`); a
+            positive integer forces that many workers.
 
     Returns:
         One row per value, in sweep order regardless of completion
@@ -53,12 +57,24 @@ def sweep(
 
 
 def _parallel_map(
-    items: List[Any], fn: Callable[[Any], Row], max_workers: Optional[int]
+    items: List[Any],
+    fn: Callable[[Any], Row],
+    max_workers: Optional[Union[int, str]],
 ) -> Optional[List[Row]]:
     """Map ``fn`` over ``items`` in a process pool; None = fall back."""
     from repro.runner.parallel import default_workers
 
-    workers = min(max_workers or default_workers(), len(items))
+    if max_workers is None or max_workers == "auto":
+        resolved = default_workers()
+    elif isinstance(max_workers, str):
+        raise ConfigError(
+            f"max_workers must be an integer or 'auto', got {max_workers!r}"
+        )
+    elif max_workers < 1:
+        raise ConfigError(f"max_workers must be >= 1, got {max_workers}")
+    else:
+        resolved = max_workers
+    workers = min(resolved, len(items))
     if workers <= 1:
         return None
     try:

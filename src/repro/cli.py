@@ -11,6 +11,7 @@ Small, scriptable front-ends over the experiment API::
     python -m repro trace --export perfetto --out trace.json
     python -m repro check lint src/
     python -m repro check sanitize --diff
+    python -m repro serve --socket .repro_serve.sock
 
 Every subcommand prints an aligned table on stdout and returns a
 process exit code (0 = success), so the CLI slots into shell
@@ -311,6 +312,42 @@ def _cmd_check_sanitize(args) -> int:
     return 0
 
 
+def cmd_serve(args) -> int:
+    import asyncio
+
+    from repro.runner import ParallelRunner, ResultCache
+    from repro.runner.serve import BatchServer
+
+    cache = None if args.no_cache else ResultCache.from_env()
+    runner = ParallelRunner(
+        max_workers=args.jobs,
+        cache=cache,
+        chunk_size=args.chunk_size,
+    )
+    workers, source = runner.worker_resolution()
+    server = BatchServer(
+        runner, socket_path=args.socket, max_requests=args.max_requests
+    )
+    print(
+        f"repro serve: listening on {args.socket} "
+        f"({workers} workers via {source}, "
+        f"cache={'off' if cache is None else cache.root})"
+    )
+    try:
+        asyncio.run(server.run())
+    except KeyboardInterrupt:
+        pass
+    finally:
+        runner.close()
+    stats = server.stats
+    print(
+        f"repro serve: {stats.requests} requests, {stats.specs} specs, "
+        f"{stats.coalesced} coalesced, {stats.batches} batches, "
+        f"{stats.errors} errors"
+    )
+    return 0
+
+
 def cmd_bound(args) -> int:
     dram = zcu102_dram()
     bound = worst_case_read_latency(
@@ -472,6 +509,24 @@ def build_parser() -> argparse.ArgumentParser:
     c.add_argument("--work-conserving", action="store_true")
     c.add_argument("--reclaim", action="store_true")
     c.set_defaults(fn=cmd_check)
+
+    p = sub.add_parser(
+        "serve",
+        help="batch front-end: JSON run requests over a local socket",
+    )
+    p.add_argument("--socket", default=".repro_serve.sock",
+                   help="Unix socket path to listen on")
+    p.add_argument("--jobs", type=int, default=None,
+                   help="worker processes (default: auto via REPRO_JOBS / "
+                        "affinity / cgroup quota)")
+    p.add_argument("--chunk-size", type=int, default=None,
+                   help="specs per pool submission (default: per-spec "
+                        "work stealing)")
+    p.add_argument("--no-cache", action="store_true",
+                   help="do not attach the on-disk result cache")
+    p.add_argument("--max-requests", type=int, default=None,
+                   help="exit after N run requests (default: serve forever)")
+    p.set_defaults(fn=cmd_serve)
 
     p = sub.add_parser("report", help="full scenario report")
     p.add_argument("--kind", default="tightly_coupled",

@@ -11,11 +11,17 @@ package turns such a workload from a serial loop into a pipeline:
   boundaries and round-trip through JSON;
 * :class:`ResultCache` -- an on-disk store keyed by spec hash, so a
   solo baseline shared by many figures is simulated exactly once;
-* :class:`ParallelRunner` -- fans specs out over a process pool with
-  deterministic result ordering and graceful in-process fallback.
+* :class:`ParallelRunner` -- fans specs out over a persistent
+  :class:`WorkerPool` with deterministic result ordering, graceful
+  in-process fallback, and cross-process single-flight claims;
+* :mod:`repro.runner.serve` -- a local batch front-end
+  (``repro serve``) that coalesces identical in-flight specs across
+  many clients before they ever reach the pool.
 
-Environment knobs: ``REPRO_JOBS`` overrides the worker count,
-``REPRO_CACHE`` selects the cache directory (``off`` disables it).
+Environment knobs: ``REPRO_JOBS`` overrides the worker count
+(``auto`` = affinity/cgroup-aware CPU count), ``REPRO_CACHE`` selects
+the cache directory (``off`` disables it), ``REPRO_CLAIM_TTL`` tunes
+single-flight claim expiry.
 
 Example::
 
@@ -29,16 +35,28 @@ Example::
 
 from repro.runner.spec import RunSpec, config_from_dict, config_to_dict
 from repro.runner.summary import RunSummary
-from repro.runner.cache import ResultCache
-from repro.runner.parallel import ParallelRunner, RunnerStats, execute_spec
+from repro.runner.cache import CacheClaim, ResultCache
+from repro.runner.pool import PoolUnavailable, WorkerPool
+from repro.runner.parallel import (
+    ParallelRunner,
+    RunnerStats,
+    default_workers,
+    execute_spec,
+    resolve_workers,
+)
 
 __all__ = [
     "RunSpec",
     "RunSummary",
     "ResultCache",
+    "CacheClaim",
     "ParallelRunner",
     "RunnerStats",
+    "WorkerPool",
+    "PoolUnavailable",
     "execute_spec",
+    "default_workers",
+    "resolve_workers",
     "config_to_dict",
     "config_from_dict",
 ]

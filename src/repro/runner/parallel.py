@@ -1,4 +1,4 @@
-"""Fan independent runs out over a process pool.
+"""Fan independent runs out over a persistent process pool.
 
 Simulation runs share nothing (every :class:`Platform` builds a fresh
 simulator), so a batch of :class:`RunSpec` objects is embarrassingly
@@ -11,10 +11,21 @@ semantics of a serial loop:
   batch (a sweep that re-states its solo baseline pays for it once);
 * **caching** -- an optional :class:`ResultCache` is consulted before
   and fed after execution, so repeated suites cost zero simulations;
+* **single-flight** -- with a cache attached, cross-process claim
+  files guarantee that two concurrent sweeps never simulate the same
+  spec twice: one runner computes, the other waits for the entry;
 * **graceful fallback** -- one worker, one outstanding spec, or a
   platform where process pools are unavailable (restricted
   containers, missing ``fork``/semaphores) all degrade to plain
   in-process execution with identical results.
+
+Worker sizing is container-aware: the automatic count prefers the
+scheduling affinity mask (``os.sched_getaffinity``) over the raw CPU
+count and clamps it by the cgroup-v2 ``cpu.max`` quota, so a 4-CPU
+box whose cgroup grants 2 CPUs gets 2 workers, not 4.  ``REPRO_JOBS``
+overrides (``auto`` or a positive integer), and the resolved count's
+*provenance* is recorded in :attr:`RunnerStats.worker_source` so a
+serial fallback is always diagnosable from a bench record alone.
 """
 
 from __future__ import annotations
@@ -27,15 +38,24 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.errors import ConfigError
 from repro.monitor.window import WindowedBandwidthMonitor
-from repro.runner.cache import ResultCache
+from repro.runner.cache import CacheClaim, ResultCache
+from repro.runner.pool import PoolUnavailable, WorkerPool
 from repro.runner.spec import RunSpec
 from repro.runner.summary import RunSummary
 from repro.soc.experiment import PlatformResult
 from repro.soc.platform import Platform
 from repro.telemetry.log import get_logger
 
-#: Environment override for the worker count (0/unset = auto).
+#: Environment override for the worker count (``auto`` or a positive
+#: integer; unset/empty means ``auto``).
 JOBS_ENV = "REPRO_JOBS"
+
+#: cgroup-v2 CPU quota file: ``"<quota> <period>"`` or ``"max <period>"``.
+_CGROUP_CPU_MAX = "/sys/fs/cgroup/cpu.max"
+
+#: How long a runner waits on another process's in-flight claim before
+#: giving up and computing the spec itself (seconds).
+DEFAULT_CLAIM_WAIT = 600.0
 
 _log = get_logger(__name__)
 
@@ -85,27 +105,89 @@ def _timed_execute(spec: RunSpec) -> Tuple[RunSummary, float]:
     return summary, time.perf_counter() - start
 
 
-def _execute_chunk(specs: Sequence[RunSpec]) -> List[Tuple[RunSummary, float]]:
-    """Pool-worker entry point: run a contiguous chunk of specs.
+# ----------------------------------------------------------------------
+# worker resolution
+# ----------------------------------------------------------------------
+def _cgroup_cpu_quota(path: str = _CGROUP_CPU_MAX) -> Optional[int]:
+    """CPU count granted by the cgroup-v2 quota, or ``None``.
 
-    Module-level so it pickles; one submission per chunk amortizes the
-    executor's per-future spec round-trip over ``ceil(n / workers)``
-    runs instead of paying it per spec.
+    ``cpu.max`` holds ``"<quota-us> <period-us>"`` (or ``"max ..."``
+    for unlimited); the effective CPU count is ``ceil(quota/period)``.
+    Unreadable, unlimited, or malformed files all mean "no clamp".
     """
-    return [_timed_execute(spec) for spec in specs]
+    try:
+        with open(path) as fh:
+            parts = fh.read().split()
+    except OSError:
+        return None
+    if len(parts) != 2 or parts[0] == "max":
+        return None
+    try:
+        quota, period = int(parts[0]), int(parts[1])
+    except ValueError:
+        return None
+    if quota <= 0 or period <= 0:
+        return None
+    return -(-quota // period)
 
 
-def default_workers() -> int:
-    """Worker count: ``REPRO_JOBS`` if set and positive, else CPU count."""
+def _affinity_cpus() -> Tuple[int, str]:
+    """CPUs this process may run on, with the figure's provenance.
+
+    Prefers the scheduling affinity mask (what taskset/cgroup cpusets
+    actually allow) over ``os.cpu_count()`` (what the machine has).
+    """
+    getter = getattr(os, "sched_getaffinity", None)
+    if getter is not None:
+        try:
+            cpus = len(getter(0))
+        except OSError:  # pragma: no cover - exotic kernels only
+            cpus = 0
+        if cpus:
+            return cpus, "sched_getaffinity"
+    return (os.cpu_count() or 1), "os.cpu_count"
+
+
+def resolve_workers() -> Tuple[int, str]:
+    """Resolve the automatic worker count and its provenance.
+
+    Returns:
+        ``(count, source)`` where ``source`` is one of
+        ``"REPRO_JOBS=<n>"``, ``"sched_getaffinity"``,
+        ``"os.cpu_count"``, or ``"cgroup cpu.max=<q> (clamps ...)"``.
+
+    Raises:
+        ConfigError: ``REPRO_JOBS`` is not ``auto`` or a positive
+            integer.  ``REPRO_JOBS=0`` is rejected explicitly (it used
+            to mean auto; say ``auto`` or unset the variable).
+    """
     value = os.environ.get(JOBS_ENV, "").strip()
-    if value:
+    if value and value.lower() != "auto":
         try:
             jobs = int(value)
         except ValueError:
-            raise ConfigError(f"{JOBS_ENV} must be an integer, got {value!r}")
-        if jobs > 0:
-            return jobs
-    return os.cpu_count() or 1
+            raise ConfigError(
+                f"{JOBS_ENV} must be 'auto' or a positive integer, "
+                f"got {value!r}"
+            )
+        if jobs == 0:
+            raise ConfigError(
+                f"{JOBS_ENV}=0 is not a worker count; use "
+                f"{JOBS_ENV}=auto (or unset it) for automatic sizing"
+            )
+        if jobs < 0:
+            raise ConfigError(f"{JOBS_ENV} must be >= 1, got {jobs}")
+        return jobs, f"{JOBS_ENV}={jobs}"
+    cpus, source = _affinity_cpus()
+    quota = _cgroup_cpu_quota()
+    if quota is not None and quota < cpus:
+        return quota, f"cgroup cpu.max={quota} (clamps {source}={cpus})"
+    return cpus, source
+
+
+def default_workers() -> int:
+    """Automatic worker count (see :func:`resolve_workers`)."""
+    return resolve_workers()[0]
 
 
 @dataclass
@@ -121,15 +203,29 @@ class RunnerStats:
         cache_poisoned: Corrupt/stale entries this batch discarded.
         deduped: Satisfied by another spec in the same batch with an
             equal content hash.
-        executed: Simulations actually performed.
+        executed: Simulations actually performed (including any
+            single-flight waits that timed out and ran locally).
+        single_flight_waited: Specs another process was already
+            computing, satisfied by waiting for its cache entry
+            instead of re-simulating.
         mode: ``"parallel"`` or ``"serial"`` for the executed part
             (``"serial"`` when nothing ran in a pool).
         workers: Worker processes the executed part actually used
             (1 whenever nothing ran in a pool).
+        worker_source: Provenance of the resolved worker count
+            (``"explicit argument"``, ``"REPRO_JOBS=<n>"``,
+            ``"sched_getaffinity"``, ``"os.cpu_count"``, or the
+            cgroup-clamp description).
+        recovered: Specs re-executed in the parent because a pool
+            worker crashed mid-batch.
         wall_seconds: End-to-end wall time of the batch (cache
             lookups included).
-        spec_seconds: Per-executed-spec simulation seconds, in the
-            order the unique work list ran.
+        spec_seconds: Per-executed-spec simulation seconds.
+            **Ordering invariant:** entry *i* belongs to the *i*-th
+            spec of the executed work list (batch order after dedup /
+            cache hits / foreign claims), regardless of which worker
+            finished first -- work-stealing must never scramble
+            per-spec attribution.
         fallback_reason: Why the executed part ran serially (``None``
             when it ran in a pool, or when nothing executed):
             ``"max_workers=1"``, ``"single spec in batch"``, or the
@@ -142,8 +238,11 @@ class RunnerStats:
     cache_poisoned: int = 0
     deduped: int = 0
     executed: int = 0
+    single_flight_waited: int = 0
     mode: str = "serial"
     workers: int = 1
+    worker_source: Optional[str] = None
+    recovered: int = 0
     wall_seconds: float = 0.0
     spec_seconds: List[float] = field(default_factory=list)
     fallback_reason: Optional[str] = None
@@ -152,32 +251,94 @@ class RunnerStats:
 class ParallelRunner:
     """Run batches of :class:`RunSpec` with pooling, dedup and caching.
 
+    The runner owns a persistent :class:`~repro.runner.pool.WorkerPool`
+    that outlives individual :meth:`run` batches: workers are spawned
+    on the first parallel batch and reused until :meth:`close` (or the
+    worker count changes).  Specs are dispatched as one future each
+    from the pool's shared queue, so a straggler spec cannot serialize
+    a batch; pass ``chunk_size`` to opt into contiguous chunking for
+    sweeps of many tiny specs.
+
     Args:
-        max_workers: Process count; ``None`` = auto
-            (``REPRO_JOBS`` override, else CPU count).  ``1`` forces
-            in-process serial execution.
+        max_workers: Process count; ``None`` = auto (``REPRO_JOBS``
+            override, else affinity/cgroup-aware CPU count).  ``1``
+            forces in-process serial execution.
         cache: Optional on-disk result cache (see
             :meth:`ResultCache.from_env`); ``None`` disables caching.
+        chunk_size: Specs per pool submission (default: 1, i.e.
+            per-spec work stealing).
+        single_flight: With a cache attached, claim specs via
+            cross-process ``O_EXCL`` claim files so concurrent
+            runners never compute the same spec twice (default on;
+            meaningless without a cache).
+        claim_wait_seconds: How long to wait on another process's
+            claim before computing the spec locally anyway.
     """
 
     def __init__(
         self,
         max_workers: Optional[int] = None,
         cache: Optional[ResultCache] = None,
+        chunk_size: Optional[int] = None,
+        single_flight: bool = True,
+        claim_wait_seconds: float = DEFAULT_CLAIM_WAIT,
     ) -> None:
         if max_workers is not None and max_workers < 1:
             raise ConfigError(f"max_workers must be >= 1, got {max_workers}")
+        if chunk_size is not None and chunk_size < 1:
+            raise ConfigError(f"chunk_size must be >= 1, got {chunk_size}")
         self._explicit_workers = max_workers
         self.cache = cache
+        self.chunk_size = chunk_size
+        self.single_flight = single_flight
+        self.claim_wait_seconds = claim_wait_seconds
+        self._pool: Optional[WorkerPool] = None
         #: Accounting of the most recent :meth:`run` call.
         self.last_stats = RunnerStats()
 
     @property
     def max_workers(self) -> int:
         """Effective worker count for the next batch."""
+        return self.worker_resolution()[0]
+
+    def worker_resolution(self) -> Tuple[int, str]:
+        """``(count, provenance)`` for the next batch's worker count."""
         if self._explicit_workers is not None:
-            return self._explicit_workers
-        return default_workers()
+            return self._explicit_workers, "explicit argument"
+        return resolve_workers()
+
+    # ------------------------------------------------------------------
+    # pool lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def pool(self) -> Optional[WorkerPool]:
+        """The persistent worker pool (``None`` until first used)."""
+        return self._pool
+
+    def _ensure_pool(self, workers: int) -> WorkerPool:
+        if self._pool is not None and (
+            self._pool.workers != workers
+            or self._pool.chunk_size != self.chunk_size
+        ):
+            self._pool.close()
+            self._pool = None
+        if self._pool is None:
+            self._pool = WorkerPool(
+                workers, _timed_execute, chunk_size=self.chunk_size
+            )
+        return self._pool
+
+    def close(self) -> None:
+        """Shut down the persistent worker pool (if one was started)."""
+        if self._pool is not None:
+            self._pool.close()
+            self._pool = None
+
+    def __enter__(self) -> "ParallelRunner":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
 
     # ------------------------------------------------------------------
     # execution
@@ -186,9 +347,12 @@ class ParallelRunner:
         """Execute every spec; results are returned in spec order.
 
         Identical specs (equal content hashes) are simulated once and
-        their summary shared; cached specs are not simulated at all.
+        their summary shared; cached specs are not simulated at all;
+        specs another process is already computing (fresh claim file)
+        are awaited rather than recomputed.
         """
         stats = RunnerStats(total=len(specs))
+        stats.worker_source = self.worker_resolution()[1]
         self.last_stats = stats
         if not specs:
             return []
@@ -201,10 +365,15 @@ class ParallelRunner:
         by_hash: Dict[str, RunSummary] = {}
         hashes = [spec.content_hash() for spec in specs]
 
-        # Unique work list, preserving first-occurrence order.
-        pending: List[RunSpec] = []
-        pending_hashes: List[str] = []
+        # Unique work list, preserving first-occurrence order, split
+        # into specs we own (claimed or claimless) and specs some
+        # other process has in flight.
+        owned: List[RunSpec] = []
+        owned_hashes: List[str] = []
+        claims: Dict[str, CacheClaim] = {}
+        foreign: List[Tuple[RunSpec, str]] = []
         seen = set()
+        use_claims = self.cache is not None and self.single_flight
         for spec, digest in zip(specs, hashes):
             if digest in seen:
                 stats.deduped += 1
@@ -216,22 +385,55 @@ class ParallelRunner:
                     by_hash[digest] = cached
                     stats.cache_hits += 1
                     continue
-            pending.append(spec)
-            pending_hashes.append(digest)
+            if use_claims:
+                assert self.cache is not None
+                claim = self.cache.try_claim(spec)
+                if claim is None:
+                    foreign.append((spec, digest))
+                    continue
+                claims[digest] = claim
+            owned.append(spec)
+            owned_hashes.append(digest)
 
         if self.cache is not None:
             stats.cache_misses = self.cache.misses - misses_before
             stats.cache_poisoned = self.cache.poisoned - poisoned_before
 
-        if pending:
-            summaries = self._execute(pending, stats)
-            for spec, digest, summary in zip(
-                pending, pending_hashes, summaries
-            ):
-                by_hash[digest] = summary
-                if self.cache is not None:
-                    self.cache.put(spec, summary)
-            stats.executed = len(pending)
+        try:
+            if owned:
+                summaries = self._execute(owned, stats)
+                for spec, digest, summary in zip(
+                    owned, owned_hashes, summaries
+                ):
+                    by_hash[digest] = summary
+                    if self.cache is not None:
+                        self.cache.put(spec, summary)
+                    claim = claims.pop(digest, None)
+                    if claim is not None:
+                        claim.release()
+                stats.executed = len(owned)
+        finally:
+            # A failed batch must not leave fresh claims behind: other
+            # runners would wait out the TTL for a result that will
+            # never arrive.
+            for claim in claims.values():
+                claim.release()
+            claims.clear()
+
+        for spec, digest in foreign:
+            assert self.cache is not None
+            summary = self.cache.wait(spec, timeout=self.claim_wait_seconds)
+            if summary is None:
+                # The claimant died, stalled past the TTL, or is
+                # slower than our patience: compute locally so the
+                # batch always completes.
+                summary, seconds = _timed_execute(spec)
+                stats.spec_seconds.append(seconds)
+                stats.executed += 1
+                self.cache.put(spec, summary)
+            else:
+                stats.single_flight_waited += 1
+            by_hash[digest] = summary
 
         stats.wall_seconds = time.perf_counter() - batch_start
         return [by_hash[digest] for digest in hashes]
@@ -239,11 +441,14 @@ class ParallelRunner:
     def _execute(
         self, specs: List[RunSpec], stats: RunnerStats
     ) -> List[RunSummary]:
-        workers = min(self.max_workers, len(specs))
+        max_workers = self.max_workers
+        workers = min(max_workers, len(specs))
         if workers > 1:
             try:
-                return self._execute_pool(specs, workers, stats)
-            except _PoolUnavailable as exc:
+                pool = self._ensure_pool(max_workers)
+                recovered_before = pool.recovered
+                pairs = pool.map(specs)
+            except PoolUnavailable as exc:
                 # Keep the cause: BENCH_runner.json reports showing
                 # "serial, 1 worker" are undiagnosable without it.
                 cause = exc.__cause__
@@ -257,51 +462,29 @@ class ParallelRunner:
                     stats.fallback_reason,
                     len(specs),
                 )
-        elif self.max_workers == 1:
+            else:
+                stats.mode = "parallel"
+                stats.workers = workers
+                stats.recovered = pool.recovered - recovered_before
+                results = []
+                for summary, seconds in pairs:
+                    stats.spec_seconds.append(seconds)
+                    results.append(summary)
+                return results
+        elif max_workers == 1:
             stats.fallback_reason = "max_workers=1"
         else:
             stats.fallback_reason = "single spec in batch"
         stats.mode = "serial"
         stats.workers = 1
-        results: List[RunSummary] = []
+        results = []
         for spec in specs:
             summary, seconds = _timed_execute(spec)
             stats.spec_seconds.append(seconds)
             results.append(summary)
         return results
 
-    @staticmethod
-    def _execute_pool(
-        specs: List[RunSpec], workers: int, stats: RunnerStats
-    ) -> List[RunSummary]:
-        try:
-            from concurrent.futures import ProcessPoolExecutor
-            from concurrent.futures.process import BrokenProcessPool
-        except ImportError as exc:  # pragma: no cover - stdlib present
-            raise _PoolUnavailable() from exc
-        # Contiguous chunks, one per worker: ceil(n / workers) specs
-        # travel per submission, and chunk-order reassembly equals
-        # spec-order reassembly, keeping results byte-identical to the
-        # serial loop.
-        size = -(-len(specs) // workers)
-        chunks = [specs[i : i + size] for i in range(0, len(specs), size)]
-        try:
-            with ProcessPoolExecutor(max_workers=workers) as pool:
-                futures = [pool.submit(_execute_chunk, c) for c in chunks]
-                pairs = [pair for f in futures for pair in f.result()]
-        except (OSError, PermissionError, BrokenProcessPool) as exc:
-            # Restricted environments (no /dev/shm, seccomp'd fork,
-            # single-core cgroups) surface here; the batch still
-            # completes, just in-process.
-            raise _PoolUnavailable() from exc
-        stats.mode = "parallel"
-        stats.workers = workers
-        results = []
-        for summary, seconds in pairs:
-            stats.spec_seconds.append(seconds)
-            results.append(summary)
-        return results
 
-
-class _PoolUnavailable(Exception):
-    """Internal signal: fall back to in-process execution."""
+#: Backwards-compatible alias; the signal now lives in
+#: :mod:`repro.runner.pool`.
+_PoolUnavailable = PoolUnavailable

@@ -1,0 +1,208 @@
+"""Persistent work-stealing process pool for spec execution.
+
+:class:`~repro.runner.parallel.ParallelRunner` used to build a fresh
+``ProcessPoolExecutor`` per batch and pre-chunk the work list into one
+contiguous slice per worker.  Both choices cost throughput at scale:
+pool spin-up is paid on every batch, and a single straggler spec
+serializes its whole pre-assigned chunk while other workers sit idle.
+
+:class:`WorkerPool` fixes both.  It owns one executor that *outlives*
+batches (``map`` can be called any number of times; workers are
+spawned once), and it dispatches one future per item from the
+executor's shared call queue, so an idle worker always steals the next
+outstanding item no matter how long its neighbours' items run.
+Contiguous chunking remains available as an opt-in (``chunk_size``)
+for sweeps of many tiny specs where the per-future round-trip
+dominates.
+
+Ordering is an invariant, not an accident: ``map`` returns results in
+*submission order* regardless of completion order, which is what keeps
+pool execution byte-identical to the serial loop and keeps per-item
+telemetry (e.g. ``RunnerStats.spec_seconds``) attributed to the right
+spec.
+
+Failure handling distinguishes two cases:
+
+* the pool never produced a result (restricted container, seccomp'd
+  ``fork``, missing ``/dev/shm``): :class:`PoolUnavailable` is raised
+  and the caller falls back to in-process execution;
+* a *proven* pool breaks mid-batch (a worker crashed): completed
+  results are kept and the unfinished items are re-executed in the
+  parent process, so a crash costs time, never results.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, List, Optional, Sequence
+
+from repro.errors import ConfigError
+from repro.telemetry.log import get_logger
+
+_log = get_logger(__name__)
+
+#: One worker task: maps an item (typically a ``RunSpec``) to a result.
+WorkerFn = Callable[[Any], Any]
+
+
+class PoolUnavailable(Exception):
+    """Process pools do not work here; execute in-process instead.
+
+    Raised when the executor cannot start or breaks before producing a
+    single result.  The ``__cause__`` carries the original error so
+    callers can report *why* (``RunnerStats.fallback_reason``).
+    """
+
+
+def _run_chunk(worker_fn: WorkerFn, items: List[Any]) -> List[Any]:
+    """Pool-worker entry point (module-level so it pickles)."""
+    return [worker_fn(item) for item in items]
+
+
+class WorkerPool:
+    """A persistent process pool with submission-order result delivery.
+
+    Args:
+        workers: Maximum worker processes (the executor spawns them on
+            demand, so oversizing costs nothing until used).
+        worker_fn: Module-level callable applied to each item in a
+            worker process; must be picklable by qualified name.
+        chunk_size: ``None``/1 dispatches one future per item (shared
+            work queue; stragglers cannot serialize a batch).  Larger
+            values submit contiguous chunks of that many items --
+            opt-in amortization for many-tiny-item sweeps.
+    """
+
+    def __init__(
+        self,
+        workers: int,
+        worker_fn: WorkerFn,
+        chunk_size: Optional[int] = None,
+    ) -> None:
+        if workers < 1:
+            raise ConfigError(f"workers must be >= 1, got {workers}")
+        if chunk_size is not None and chunk_size < 1:
+            raise ConfigError(f"chunk_size must be >= 1, got {chunk_size}")
+        self.workers = workers
+        self.chunk_size = chunk_size
+        self._worker_fn = worker_fn
+        self._executor: Optional[Any] = None
+        #: The pool produced at least one result in its lifetime; a
+        #: later breakage is then a worker crash (recover in-parent),
+        #: not an environment that cannot run pools at all.
+        self._proven = False
+        #: ``map`` calls completed over the pool's lifetime.
+        self.batches = 0
+        #: Items re-executed in the parent after a worker crash.
+        self.recovered = 0
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def alive(self) -> bool:
+        """Whether worker processes are currently retained."""
+        return self._executor is not None
+
+    def _ensure_executor(self) -> Any:
+        if self._executor is None:
+            try:
+                from concurrent.futures import ProcessPoolExecutor
+            except ImportError as exc:  # pragma: no cover - stdlib present
+                raise PoolUnavailable() from exc
+            try:
+                self._executor = ProcessPoolExecutor(max_workers=self.workers)
+            except (OSError, PermissionError, ValueError) as exc:
+                raise PoolUnavailable() from exc
+        return self._executor
+
+    def _discard_executor(self) -> None:
+        executor = self._executor
+        self._executor = None
+        if executor is not None:
+            try:
+                executor.shutdown(wait=False, cancel_futures=True)
+            except Exception:  # pragma: no cover - teardown best-effort
+                pass
+
+    def close(self) -> None:
+        """Shut the workers down; the next ``map`` restarts them."""
+        executor = self._executor
+        self._executor = None
+        if executor is not None:
+            executor.shutdown(wait=True, cancel_futures=True)
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    def map(self, items: Sequence[Any]) -> List[Any]:
+        """Apply ``worker_fn`` to every item; results in item order.
+
+        Raises:
+            PoolUnavailable: The pool produced no result, ever -- the
+                caller should run in-process.  Any exception raised
+                *by* ``worker_fn`` inside a worker propagates as-is,
+                exactly as the serial loop would raise it.
+        """
+        from concurrent.futures.process import BrokenProcessPool
+
+        if not items:
+            return []
+        executor = self._ensure_executor()
+        size = self.chunk_size or 1
+        chunks = [
+            list(items[i : i + size]) for i in range(0, len(items), size)
+        ]
+        futures: List[Optional[Any]] = []
+        broken: Optional[BaseException] = None
+        for chunk in chunks:
+            if broken is None:
+                try:
+                    futures.append(
+                        executor.submit(_run_chunk, self._worker_fn, chunk)
+                    )
+                except (OSError, RuntimeError) as exc:
+                    broken = exc
+                    futures.append(None)
+            else:
+                futures.append(None)
+
+        results: List[Optional[List[Any]]] = [None] * len(chunks)
+        failed: List[int] = []
+        for i, future in enumerate(futures):
+            if future is None:
+                failed.append(i)
+                continue
+            try:
+                results[i] = future.result()
+                self._proven = True
+            except (OSError, BrokenProcessPool) as exc:
+                if broken is None:
+                    broken = exc
+                failed.append(i)
+
+        if broken is not None:
+            # Workers are gone (or the queue is wedged); drop the
+            # executor so the next batch starts a fresh one.
+            self._discard_executor()
+        if failed and not self._proven:
+            raise PoolUnavailable() from broken
+        for i in failed:
+            # Worker crash on a proven pool: re-execute the unfinished
+            # items in the parent so the batch still completes.
+            results[i] = _run_chunk(self._worker_fn, chunks[i])
+            self.recovered += len(chunks[i])
+        if failed:
+            _log.warning(
+                "worker pool broke mid-batch (%s); re-executed %d item(s) "
+                "in the parent process",
+                broken,
+                sum(len(chunks[i]) for i in failed),
+            )
+        self.batches += 1
+        return [out for chunk_out in results for out in chunk_out or []]

@@ -1,0 +1,376 @@
+"""``repro serve``: a local batch front-end for sweep traffic.
+
+Many-client workloads (parameter searches, adversarial pattern
+hunters, notebook sessions) all want the same thing from the runner:
+hand over a list of specs, get summaries back, and never pay twice
+for a spec someone else already has in flight.  This module is that
+absorption point -- a stdlib-only asyncio server on a local Unix
+socket that
+
+* accepts newline-delimited JSON run requests,
+* **coalesces identical in-flight specs** across requests (keyed by
+  content hash, the same key the cache and dedup use), so a thousand
+  clients asking for one sweep cost one sweep,
+* feeds unique work to a shared :class:`ParallelRunner` (persistent
+  worker pool + sharded single-flight cache), and
+* streams each request's summaries back in spec order as they
+  resolve, followed by a final ``done`` line.
+
+Protocol (one JSON object per line, both directions)::
+
+    -> {"id": 7, "specs": [<RunSpec.to_dict()>, ...]}
+    <- {"id": 7, "index": 0, "summary": {...}}
+    <- {"id": 7, "index": 1, "summary": {...}}
+    <- {"id": 7, "done": true, "count": 2}
+
+    -> {"op": "ping"}          <- {"pong": true, "protocol": 1}
+    -> {"op": "stats"}         <- {"stats": {...}}
+
+Errors are data, not disconnects: a malformed line or unknown op gets
+``{"id": ..., "error": "..."}`` and the connection stays usable.
+
+:func:`request_runs` is the matching synchronous client used by tests
+and scripts; anything that can write JSON to a Unix socket can speak
+the protocol directly.
+"""
+
+from __future__ import annotations
+
+# repro: config-layer -- socket paths and op codes live at the edge
+import asyncio
+import json
+import os
+import socket
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import asdict, dataclass
+from typing import Any, Dict, List, Optional
+
+from repro.errors import ReproError, ServeError
+from repro.runner.parallel import ParallelRunner
+from repro.runner.spec import RunSpec
+from repro.runner.summary import RunSummary
+from repro.telemetry.log import get_logger
+
+_log = get_logger(__name__)
+
+#: Wire protocol version, reported by ``ping``.
+SERVE_PROTOCOL = 1
+
+#: Default socket path (relative to the working directory).
+DEFAULT_SOCKET = ".repro_serve.sock"
+
+
+@dataclass
+class ServeStats:
+    """Lifetime accounting of one :class:`BatchServer`.
+
+    Attributes:
+        requests: Run requests accepted.
+        specs: Specs requested across all run requests.
+        coalesced: Specs satisfied by an identical spec already in
+            flight (no new simulation scheduled).
+        batches: Runner batches dispatched.
+        errors: Protocol-level errors answered.
+    """
+
+    requests: int = 0
+    specs: int = 0
+    coalesced: int = 0
+    batches: int = 0
+    errors: int = 0
+
+
+class BatchServer:
+    """Coalescing run-request server over a local Unix socket.
+
+    Args:
+        runner: The shared :class:`ParallelRunner` all requests feed
+            (its cache and worker pool are the scale levers).
+        socket_path: Unix socket to listen on; a stale socket file is
+            replaced.
+        max_requests: Stop serving after this many run requests
+            (``None`` = serve forever); used by tests and smoke runs.
+    """
+
+    def __init__(
+        self,
+        runner: ParallelRunner,
+        socket_path: str = DEFAULT_SOCKET,
+        max_requests: Optional[int] = None,
+    ) -> None:
+        self.runner = runner
+        self.socket_path = socket_path
+        self.max_requests = max_requests
+        self.stats = ServeStats()
+        self._inflight: Dict[str, "asyncio.Future[RunSummary]"] = {}
+        # One thread: runner batches serialize behind each other while
+        # the event loop stays free to accept and coalesce new
+        # requests into the in-flight map.
+        self._executor = ThreadPoolExecutor(
+            max_workers=1, thread_name_prefix="repro-serve"
+        )
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._drained: Optional["asyncio.Event"] = None
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    async def start(self) -> None:
+        """Bind the socket and start accepting connections."""
+        self._drained = asyncio.Event()
+        try:
+            os.unlink(self.socket_path)
+        except OSError:
+            pass
+        self._server = await asyncio.start_unix_server(
+            self._handle_client, path=self.socket_path
+        )
+        _log.info("repro serve listening on %s", self.socket_path)
+
+    async def run(self) -> None:
+        """Start and serve until closed (or ``max_requests`` reached)."""
+        if self._server is None:
+            await self.start()
+        assert self._drained is not None
+        # With no max_requests the event is only ever set by close().
+        await self._drained.wait()
+        await self.close()
+
+    async def close(self) -> None:
+        """Stop accepting, drop the socket file, release the worker."""
+        server = self._server
+        self._server = None
+        if server is not None:
+            server.close()
+            await server.wait_closed()
+        if self._drained is not None:
+            self._drained.set()
+        self._executor.shutdown(wait=True)
+        try:
+            os.unlink(self.socket_path)
+        except OSError:
+            pass
+
+    # ------------------------------------------------------------------
+    # request handling
+    # ------------------------------------------------------------------
+    async def _handle_client(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            while True:
+                line = await reader.readline()
+                if not line:
+                    break
+                await self._handle_line(line, writer)
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass  # client went away mid-request; nothing to answer
+        except asyncio.CancelledError:
+            # Server shutdown with this connection still open.  End
+            # the handler normally: letting the cancellation escape
+            # makes asyncio's connection_made callback log a spurious
+            # traceback for the cancelled handler task (3.11).
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):  # pragma: no cover
+                pass
+
+    async def _handle_line(
+        self, line: bytes, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            request = json.loads(line)
+        except ValueError:
+            await self._error(writer, None, "malformed JSON request")
+            return
+        if not isinstance(request, dict):
+            await self._error(writer, None, "request must be a JSON object")
+            return
+        req_id = request.get("id")
+        op = request.get("op", "run")
+        if op == "ping":
+            await self._send(
+                writer,
+                {"id": req_id, "pong": True, "protocol": SERVE_PROTOCOL},
+            )
+            return
+        if op == "stats":
+            await self._send(
+                writer, {"id": req_id, "stats": asdict(self.stats)}
+            )
+            return
+        if op != "run":
+            await self._error(writer, req_id, f"unknown op {op!r}")
+            return
+        specs_data = request.get("specs")
+        if not isinstance(specs_data, list) or not specs_data:
+            await self._error(
+                writer, req_id, "specs must be a non-empty list"
+            )
+            return
+        try:
+            specs = [RunSpec.from_dict(data) for data in specs_data]
+        except (ReproError, TypeError, AttributeError) as exc:
+            await self._error(writer, req_id, f"bad spec: {exc}")
+            return
+
+        self.stats.requests += 1
+        self.stats.specs += len(specs)
+        futures = self._coalesce(specs)
+        for index, future in enumerate(futures):
+            try:
+                summary = await future
+            except Exception as exc:
+                await self._error(
+                    writer, req_id, f"spec {index} failed: {exc}", index=index
+                )
+                continue
+            await self._send(
+                writer,
+                {"id": req_id, "index": index, "summary": summary.to_dict()},
+            )
+        await self._send(
+            writer, {"id": req_id, "done": True, "count": len(futures)}
+        )
+        if (
+            self.max_requests is not None
+            and self.stats.requests >= self.max_requests
+            and self._drained is not None
+        ):
+            self._drained.set()
+
+    def _coalesce(
+        self, specs: List[RunSpec]
+    ) -> List["asyncio.Future[RunSummary]"]:
+        """One future per spec; identical in-flight specs share one."""
+        loop = asyncio.get_running_loop()
+        futures: List["asyncio.Future[RunSummary]"] = []
+        new_specs: List[RunSpec] = []
+        new_digests: List[str] = []
+        for spec in specs:
+            digest = spec.content_hash()
+            future = self._inflight.get(digest)
+            if future is None:
+                future = loop.create_future()
+                self._inflight[digest] = future
+                new_specs.append(spec)
+                new_digests.append(digest)
+            else:
+                self.stats.coalesced += 1
+            futures.append(future)
+        if new_specs:
+            loop.create_task(self._run_batch(new_specs, new_digests))
+        return futures
+
+    async def _run_batch(
+        self, specs: List[RunSpec], digests: List[str]
+    ) -> None:
+        loop = asyncio.get_running_loop()
+        try:
+            summaries = await loop.run_in_executor(
+                self._executor, self.runner.run, specs
+            )
+        except Exception as exc:
+            for digest in digests:
+                future = self._inflight.pop(digest, None)
+                if future is not None and not future.done():
+                    future.set_exception(exc)
+            return
+        self.stats.batches += 1
+        for digest, summary in zip(digests, summaries):
+            future = self._inflight.pop(digest, None)
+            if future is not None and not future.done():
+                future.set_result(summary)
+
+    async def _error(
+        self,
+        writer: asyncio.StreamWriter,
+        req_id: Any,
+        message: str,
+        index: Optional[int] = None,
+    ) -> None:
+        self.stats.errors += 1
+        payload: Dict[str, Any] = {"id": req_id, "error": message}
+        if index is not None:
+            payload["index"] = index
+        await self._send(writer, payload)
+
+    @staticmethod
+    async def _send(
+        writer: asyncio.StreamWriter, payload: Dict[str, Any]
+    ) -> None:
+        writer.write(json.dumps(payload).encode("utf-8") + b"\n")
+        await writer.drain()
+
+
+# ----------------------------------------------------------------------
+# synchronous client
+# ----------------------------------------------------------------------
+def request_runs(
+    socket_path: str,
+    specs: List[RunSpec],
+    timeout: Optional[float] = None,
+    request_id: Any = 0,
+) -> List[RunSummary]:
+    """Run ``specs`` through a :class:`BatchServer`; spec-order results.
+
+    Args:
+        socket_path: The server's Unix socket.
+        specs: Specs to run (duplicates are fine; the server
+            coalesces them).
+        timeout: Per-read socket timeout in seconds (``None`` waits
+            indefinitely -- simulations can be long).
+        request_id: Echoed back by the server; useful when one
+            connection multiplexes requests.
+
+    Raises:
+        ServeError: The server answered with a protocol error or the
+            response was incomplete.
+    """
+    payload = {
+        "id": request_id,
+        "specs": [spec.to_dict() for spec in specs],
+    }
+    summaries: Dict[int, RunSummary] = {}
+    count: Optional[int] = None
+    with socket.socket(socket.AF_UNIX, socket.SOCK_STREAM) as sock:
+        sock.settimeout(timeout)
+        sock.connect(socket_path)
+        sock.sendall(json.dumps(payload).encode("utf-8") + b"\n")
+        with sock.makefile("r", encoding="utf-8") as stream:
+            for line in stream:
+                message = json.loads(line)
+                if message.get("error"):
+                    raise ServeError(str(message["error"]))
+                if "summary" in message:
+                    summaries[int(message["index"])] = RunSummary.from_dict(
+                        message["summary"]
+                    )
+                if message.get("done"):
+                    count = int(message["count"])
+                    break
+    if count is None:
+        raise ServeError("connection closed before the response completed")
+    if sorted(summaries) != list(range(count)):
+        raise ServeError(
+            f"incomplete response: got indices {sorted(summaries)} "
+            f"of {count}"
+        )
+    return [summaries[i] for i in range(count)]
+
+
+def ping(socket_path: str, timeout: Optional[float] = 5.0) -> bool:
+    """True when a :class:`BatchServer` answers on ``socket_path``."""
+    try:
+        with socket.socket(socket.AF_UNIX, socket.SOCK_STREAM) as sock:
+            sock.settimeout(timeout)
+            sock.connect(socket_path)
+            sock.sendall(b'{"op": "ping"}\n')
+            with sock.makefile("r", encoding="utf-8") as stream:
+                line = stream.readline()
+        return bool(json.loads(line).get("pong"))
+    except (OSError, ValueError):
+        return False

@@ -16,8 +16,11 @@ import json
 from dataclasses import asdict, dataclass, field
 from typing import Dict, Optional, Tuple
 
-#: Report format version.
-REPORT_SCHEMA = 1
+#: Report format version.  2: adds ``worker_source`` (provenance of
+#: the resolved worker count), ``recovered`` (worker-crash
+#: re-executions), and ``single_flight_waited`` (specs satisfied by
+#: another process's in-flight computation).
+REPORT_SCHEMA = 2
 
 
 @dataclass(frozen=True)
@@ -33,9 +36,19 @@ class RunnerTelemetry:
         deduped: Specs satisfied by an equal-hash batch sibling.
         mode: ``"parallel"`` or ``"serial"``.
         workers: Worker processes used for the executed part.
+        worker_source: Provenance of the resolved worker count
+            (``"REPRO_JOBS=<n>"``, ``"sched_getaffinity"``,
+            ``"os.cpu_count"``, a cgroup-clamp description, or
+            ``"explicit argument"``) -- the figure that makes a
+            serial fallback diagnosable from the record alone.
+        recovered: Specs re-executed in the parent after a worker
+            crash.
+        single_flight_waited: Specs satisfied by waiting on another
+            process's in-flight cache claim instead of re-simulating.
         wall_seconds: Wall-clock time of the whole batch.
         spec_seconds: Per-executed-spec simulation seconds, in
-            execution-list order.
+            execution-list order (a hard invariant of the runner:
+            work stealing never scrambles attribution).
         utilization: Busy fraction of the worker pool:
             ``sum(spec_seconds) / (wall_seconds * workers)``.
         fallback_reason: Why a serial batch did not use a pool
@@ -55,6 +68,9 @@ class RunnerTelemetry:
     spec_seconds: Tuple[float, ...] = field(default_factory=tuple)
     utilization: float = 0.0
     fallback_reason: Optional[str] = None
+    worker_source: Optional[str] = None
+    recovered: int = 0
+    single_flight_waited: int = 0
 
     @classmethod
     def from_runner(cls, runner: "object") -> "RunnerTelemetry":
@@ -80,6 +96,9 @@ class RunnerTelemetry:
             spec_seconds=spec_seconds,
             utilization=(busy / (wall * workers)) if wall > 0 else 0.0,
             fallback_reason=getattr(stats, "fallback_reason", None),
+            worker_source=getattr(stats, "worker_source", None),
+            recovered=getattr(stats, "recovered", 0),
+            single_flight_waited=getattr(stats, "single_flight_waited", 0),
         )
 
     def to_dict(self) -> Dict[str, object]:

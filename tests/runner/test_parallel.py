@@ -15,10 +15,11 @@ from repro.runner import (
     execute_spec,
 )
 from repro.runner.parallel import (
-    _PoolUnavailable,
-    _execute_chunk,
+    _timed_execute,
     default_workers,
+    resolve_workers,
 )
+from repro.runner.pool import PoolUnavailable, WorkerPool, _run_chunk
 from repro.soc.presets import zcu102
 
 
@@ -51,8 +52,8 @@ class TestDeterminism:
     def test_parallel_matches_serial_byte_identically(
         self, spec_batch, serial_batch
     ):
-        runner = ParallelRunner(max_workers=2)
-        out = runner.run(list(spec_batch))
+        with ParallelRunner(max_workers=2) as runner:
+            out = runner.run(list(spec_batch))
         assert [s.to_json() for s in out] == [
             s.to_json() for s in serial_batch
         ]
@@ -79,8 +80,8 @@ class TestDeterminism:
 
 class TestOrderingAndDedup:
     def test_results_in_spec_order(self, spec_batch, serial_batch):
-        runner = ParallelRunner(max_workers=2)
-        reversed_out = runner.run(list(reversed(spec_batch)))
+        with ParallelRunner(max_workers=2) as runner:
+            reversed_out = runner.run(list(reversed(spec_batch)))
         assert [s.to_json() for s in reversed_out] == [
             s.to_json() for s in reversed(serial_batch)
         ]
@@ -128,23 +129,47 @@ class TestWorkerSelection:
         monkeypatch.setenv("REPRO_JOBS", "7")
         assert ParallelRunner().max_workers == 7
         assert default_workers() == 7
+        assert resolve_workers() == (7, "REPRO_JOBS=7")
 
     def test_explicit_beats_env(self, monkeypatch):
         monkeypatch.setenv("REPRO_JOBS", "7")
-        assert ParallelRunner(max_workers=2).max_workers == 2
+        runner = ParallelRunner(max_workers=2)
+        assert runner.max_workers == 2
+        assert runner.worker_resolution() == (2, "explicit argument")
+
+    def test_auto_env_means_auto(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "auto")
+        count, source = resolve_workers()
+        assert count >= 1
+        assert "REPRO_JOBS" not in source  # affinity/cgroup provenance
 
     def test_bad_env_rejected(self, monkeypatch):
         monkeypatch.setenv("REPRO_JOBS", "lots")
         with pytest.raises(ConfigError):
             default_workers()
 
-    def test_zero_env_means_auto(self, monkeypatch):
+    def test_zero_env_rejected(self, monkeypatch):
+        # REPRO_JOBS=0 used to mean auto; it is now an explicit error
+        # pointing at REPRO_JOBS=auto.
         monkeypatch.setenv("REPRO_JOBS", "0")
-        assert default_workers() >= 1
+        with pytest.raises(ConfigError, match="auto"):
+            default_workers()
+
+    def test_negative_env_rejected(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "-2")
+        with pytest.raises(ConfigError):
+            default_workers()
 
     def test_invalid_worker_count_rejected(self):
         with pytest.raises(ConfigError):
             ParallelRunner(max_workers=0)
+
+    def test_stats_record_worker_source(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "2")
+        runner = ParallelRunner()
+        runner.run([small_spec(), small_spec(seed=2)])
+        assert runner.last_stats.worker_source == "REPRO_JOBS=2"
+        runner.close()
 
 
 class TestFallbackReason:
@@ -161,8 +186,8 @@ class TestFallbackReason:
         assert runner.last_stats.fallback_reason == "single spec in batch"
 
     def test_parallel_batch_records_no_reason(self, spec_batch):
-        runner = ParallelRunner(max_workers=2)
-        runner.run(list(spec_batch))
+        with ParallelRunner(max_workers=2) as runner:
+            runner.run(list(spec_batch))
         if runner.last_stats.mode == "parallel":
             assert runner.last_stats.fallback_reason is None
         else:
@@ -181,10 +206,10 @@ class TestFallbackReason:
     def test_pool_failure_records_cause(
         self, spec_batch, serial_batch, monkeypatch
     ):
-        def broken_pool(specs, workers, stats):
-            raise _PoolUnavailable() from OSError("no /dev/shm")
+        def broken_map(self, items):
+            raise PoolUnavailable() from OSError("no /dev/shm")
 
-        monkeypatch.setattr(ParallelRunner, "_execute_pool", staticmethod(broken_pool))
+        monkeypatch.setattr(WorkerPool, "map", broken_map)
         runner = ParallelRunner(max_workers=2)
         out = runner.run(list(spec_batch))
         assert runner.last_stats.mode == "serial"
@@ -205,19 +230,19 @@ class TestFallbackReason:
 
 class TestChunkedSubmission:
     def test_worker_chunk_matches_direct_execution(self, spec_batch):
-        pairs = _execute_chunk(list(spec_batch))
+        pairs = _run_chunk(_timed_execute, list(spec_batch))
         assert [s.to_json() for s, _ in pairs] == [
             execute_spec(s).to_json() for s in spec_batch
         ]
         assert all(seconds > 0 for _, seconds in pairs)
 
     def test_uneven_batch_matches_serial_byte_identically(self):
-        # 5 specs over 2 workers -> chunks of 3 and 2; chunk-order
-        # reassembly must equal spec order.
+        # 5 specs over 2 workers with chunk_size=2 -> chunks of
+        # 2+2+1; chunk-order reassembly must equal spec order.
         specs = [small_spec(seed=s) for s in (11, 12, 13, 14, 15)]
         expected = [execute_spec(s).to_json() for s in specs]
-        runner = ParallelRunner(max_workers=2)
-        out = runner.run(specs)
+        with ParallelRunner(max_workers=2, chunk_size=2) as runner:
+            out = runner.run(specs)
         assert [s.to_json() for s in out] == expected
 
 

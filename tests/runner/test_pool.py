@@ -1,0 +1,150 @@
+"""WorkerPool: ordering, persistence, crash recovery, fallback signal.
+
+Worker functions live at module level so they pickle by qualified
+name.  Crash-injecting functions only crash inside a pool worker
+(``multiprocessing.parent_process()`` is set there), so the pool's
+re-execute-in-parent recovery path genuinely succeeds.
+"""
+
+import multiprocessing
+import os
+import time
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.runner import execute_spec
+from repro.runner.parallel import ParallelRunner
+from repro.runner.pool import PoolUnavailable, WorkerPool, _run_chunk
+from repro.runner.spec import RunSpec
+from repro.soc.presets import zcu102
+
+
+def _double(x):
+    return x * 2
+
+
+def _sleepy(item):
+    delay, value = item
+    time.sleep(delay)
+    return value
+
+
+def _crash_or_double(item):
+    kind, value = item
+    if kind == "crash" and multiprocessing.parent_process() is not None:
+        os._exit(13)  # abrupt worker death, not an exception
+    return value * 2
+
+
+def small_spec(seed=1, cpu_work=100):
+    return RunSpec(
+        config=zcu102(num_accels=1, cpu_work=cpu_work, seed=seed)
+    )
+
+
+class TestMapBasics:
+    def test_results_in_submission_order(self):
+        # Later items finish first; the output order must not care.
+        items = [(0.2, "slow"), (0.0, "quick"), (0.0, "quicker")]
+        with WorkerPool(3, _sleepy) as pool:
+            assert pool.map(items) == ["slow", "quick", "quicker"]
+
+    def test_empty_map_is_free(self):
+        pool = WorkerPool(2, _double)
+        assert pool.map([]) == []
+        assert not pool.alive  # no executor was ever started
+        assert pool.batches == 0
+
+    def test_chunked_submission_preserves_order(self):
+        with WorkerPool(2, _double, chunk_size=2) as pool:
+            assert pool.map([1, 2, 3, 4, 5]) == [2, 4, 6, 8, 10]
+
+    def test_run_chunk_matches_serial(self):
+        assert _run_chunk(_double, [1, 2, 3]) == [2, 4, 6]
+
+    def test_invalid_sizing_rejected(self):
+        with pytest.raises(ConfigError):
+            WorkerPool(0, _double)
+        with pytest.raises(ConfigError):
+            WorkerPool(2, _double, chunk_size=0)
+
+
+class TestPersistence:
+    def test_workers_survive_across_batches(self):
+        with WorkerPool(2, _double) as pool:
+            assert pool.map([1, 2, 3]) == [2, 4, 6]
+            executor = pool._executor
+            assert pool.alive
+            assert pool.map([4, 5]) == [8, 10]
+            assert pool._executor is executor  # same workers, no respawn
+            assert pool.batches == 2
+
+    def test_close_then_reuse_restarts(self):
+        pool = WorkerPool(2, _double)
+        assert pool.map([1]) == [2]
+        pool.close()
+        assert not pool.alive
+        assert pool.map([2]) == [4]  # transparently restarted
+        pool.close()
+
+
+class TestCrashRecovery:
+    def test_proven_pool_recovers_in_parent(self):
+        with WorkerPool(2, _crash_or_double) as pool:
+            # Prove the pool with a clean batch first.
+            assert pool.map([("ok", 1), ("ok", 2)]) == [2, 4]
+            out = pool.map([("ok", 3), ("crash", 4), ("ok", 5)])
+        # The crash cost time, never results: every item completed,
+        # the crashed one (at least) re-executed in the parent.
+        assert out == [6, 8, 10]
+        assert pool.recovered >= 1
+
+    def test_unproven_pool_raises_pool_unavailable(self):
+        pool = WorkerPool(2, _crash_or_double)
+        with pytest.raises(PoolUnavailable) as excinfo:
+            pool.map([("crash", 1), ("crash", 2)])
+        assert excinfo.value.__cause__ is not None
+        assert not pool.alive  # broken executor was discarded
+        assert pool.recovered == 0
+
+
+class TestRunnerIntegration:
+    def test_forced_oversubscription_is_byte_identical(self, monkeypatch):
+        # The acceptance scenario: REPRO_JOBS=4 on a small box must
+        # engage the pool and match the serial loop byte for byte.
+        monkeypatch.setenv("REPRO_JOBS", "4")
+        specs = [small_spec(seed=s) for s in (21, 22, 23, 24, 25)]
+        expected = [execute_spec(s).to_json() for s in specs]
+        with ParallelRunner() as runner:
+            out = runner.run(specs)
+        stats = runner.last_stats
+        assert stats.mode == "parallel", stats.fallback_reason
+        assert stats.workers == 4
+        assert stats.worker_source == "REPRO_JOBS=4"
+        assert [s.to_json() for s in out] == expected
+
+    def test_runner_pool_outlives_batches(self):
+        specs = [small_spec(seed=s) for s in (31, 32)]
+        with ParallelRunner(max_workers=2) as runner:
+            runner.run(specs)
+            pool = runner.pool
+            assert pool is not None and pool.batches == 1
+            runner.run([small_spec(seed=s) for s in (33, 34)])
+            assert runner.pool is pool  # same pool, same workers
+            assert pool.batches == 2
+        assert runner.pool is None  # close() tore it down
+
+    def test_spec_seconds_attributed_in_spec_order(self):
+        # One spec is ~50x heavier; work stealing must not scramble
+        # which slot its seconds land in.
+        specs = [
+            small_spec(seed=41, cpu_work=100),
+            small_spec(seed=42, cpu_work=6000),
+            small_spec(seed=43, cpu_work=100),
+        ]
+        with ParallelRunner(max_workers=2) as runner:
+            runner.run(specs)
+        seconds = runner.last_stats.spec_seconds
+        assert len(seconds) == len(specs)
+        assert seconds.index(max(seconds)) == 1

@@ -1,0 +1,209 @@
+"""The ``repro serve`` batch front-end: protocol, coalescing, errors.
+
+The server runs on a background thread with its own event loop; tests
+talk to it over the real Unix socket with the synchronous client (or
+a raw socket for protocol-level cases), exactly as external tools
+would.
+"""
+
+import asyncio
+import json
+import socket
+import threading
+import time
+
+import pytest
+
+import repro.runner.parallel as parallel
+from repro.errors import ServeError
+from repro.runner import ParallelRunner, ResultCache, RunSpec, execute_spec
+from repro.runner.serve import (
+    SERVE_PROTOCOL,
+    BatchServer,
+    ping,
+    request_runs,
+)
+from repro.soc.presets import zcu102
+
+pytestmark = pytest.mark.skipif(
+    not hasattr(socket, "AF_UNIX"), reason="requires Unix sockets"
+)
+
+
+def small_spec(seed=1):
+    return RunSpec(config=zcu102(num_accels=1, cpu_work=100, seed=seed))
+
+
+class ServerHarness:
+    """A BatchServer running on its own thread + event loop."""
+
+    def __init__(self, runner, socket_path, **kwargs):
+        self.server = BatchServer(runner, socket_path=socket_path, **kwargs)
+        self.loop = asyncio.new_event_loop()
+        started = threading.Event()
+
+        def main():
+            asyncio.set_event_loop(self.loop)
+            self.loop.run_until_complete(self.server.start())
+            started.set()
+            self.loop.run_forever()
+
+        self.thread = threading.Thread(target=main, daemon=True)
+        self.thread.start()
+        assert started.wait(10), "server failed to start"
+
+    def stop(self):
+        asyncio.run_coroutine_threadsafe(
+            self.server.close(), self.loop
+        ).result(timeout=10)
+        self.loop.call_soon_threadsafe(self.loop.stop)
+        self.thread.join(timeout=10)
+        self.loop.close()
+
+
+@pytest.fixture
+def served(tmp_path):
+    sock = str(tmp_path / "s.sock")
+    runner = ParallelRunner(
+        max_workers=1, cache=ResultCache(root=str(tmp_path / "cache"))
+    )
+    harness = ServerHarness(runner, sock)
+    try:
+        yield sock, harness.server
+    finally:
+        harness.stop()
+        runner.close()
+
+
+def raw_request(sock_path, line, replies=1):
+    """Send one raw line, return ``replies`` decoded response lines."""
+    with socket.socket(socket.AF_UNIX, socket.SOCK_STREAM) as sock:
+        sock.settimeout(10)
+        sock.connect(sock_path)
+        sock.sendall(line.encode("utf-8") + b"\n")
+        with sock.makefile("r", encoding="utf-8") as stream:
+            return [json.loads(stream.readline()) for _ in range(replies)]
+
+
+class TestProtocol:
+    def test_ping(self, served):
+        sock, _server = served
+        assert ping(sock) is True
+
+    def test_ping_unreachable_socket_is_false(self, tmp_path):
+        assert ping(str(tmp_path / "nobody.sock")) is False
+
+    def test_ping_reports_protocol_version(self, served):
+        sock, _server = served
+        (reply,) = raw_request(sock, '{"op": "ping", "id": 3}')
+        assert reply == {"id": 3, "pong": True, "protocol": SERVE_PROTOCOL}
+
+    def test_stats_op(self, served):
+        sock, server = served
+        (reply,) = raw_request(sock, '{"op": "stats"}')
+        assert reply["stats"]["requests"] == server.stats.requests
+        assert set(reply["stats"]) == {
+            "requests", "specs", "coalesced", "batches", "errors",
+        }
+
+    def test_malformed_json_is_an_error_line(self, served):
+        sock, server = served
+        (reply,) = raw_request(sock, "{this is not json")
+        assert "error" in reply
+        # The connection survives protocol errors.
+        (pong,) = raw_request(sock, '{"op": "ping"}')
+        assert pong["pong"] is True
+        assert server.stats.errors >= 1
+
+    def test_unknown_op_is_an_error_line(self, served):
+        sock, _server = served
+        (reply,) = raw_request(sock, '{"op": "frobnicate", "id": 9}')
+        assert reply["id"] == 9
+        assert "frobnicate" in reply["error"]
+
+    def test_non_object_request_is_an_error_line(self, served):
+        sock, _server = served
+        (reply,) = raw_request(sock, "[1, 2, 3]")
+        assert "error" in reply
+
+    def test_empty_specs_rejected_via_client(self, served):
+        sock, _server = served
+        with pytest.raises(ServeError, match="non-empty"):
+            request_runs(sock, [], timeout=10)
+
+    def test_bad_spec_payload_is_an_error_line(self, served):
+        sock, _server = served
+        (reply,) = raw_request(
+            sock, '{"id": 1, "specs": [{"not": "a spec"}]}'
+        )
+        assert reply["id"] == 1
+        assert "bad spec" in reply["error"]
+
+
+class TestRunRequests:
+    def test_roundtrip_matches_direct_execution(self, served):
+        sock, server = served
+        specs = [small_spec(seed=1), small_spec(seed=2), small_spec(seed=1)]
+        out = request_runs(sock, specs, timeout=60)
+        expected = [execute_spec(s).to_json() for s in specs]
+        assert [s.to_json() for s in out] == expected
+        assert server.stats.requests == 1
+        assert server.stats.specs == 3
+        assert server.stats.coalesced == 1  # the in-request duplicate
+        assert server.stats.batches >= 1
+
+    def test_concurrent_identical_requests_coalesce(
+        self, served, monkeypatch
+    ):
+        sock, server = served
+        real = parallel._timed_execute
+        executions = []
+
+        def slow(spec):
+            executions.append(spec.content_hash())
+            time.sleep(0.5)
+            return real(spec)
+
+        monkeypatch.setattr(parallel, "_timed_execute", slow)
+        spec = small_spec(seed=5)
+        results = [None, None]
+
+        def client(i):
+            results[i] = request_runs(
+                sock, [spec], timeout=60, request_id=i
+            )[0]
+
+        threads = [
+            threading.Thread(target=client, args=(i,)) for i in range(2)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+
+        assert results[0].to_json() == results[1].to_json()
+        # One simulation served both clients: coalesced in flight, or
+        # (if the second request arrived late) a runner cache hit --
+        # either way never a second execution.
+        assert len(executions) == 1
+
+
+class TestCli:
+    def test_serve_parser_accepts_the_documented_flags(self):
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args(
+            [
+                "serve",
+                "--socket", "x.sock",
+                "--jobs", "2",
+                "--chunk-size", "3",
+                "--no-cache",
+                "--max-requests", "1",
+            ]
+        )
+        assert args.socket == "x.sock"
+        assert args.jobs == 2
+        assert args.chunk_size == 3
+        assert args.no_cache is True
+        assert args.max_requests == 1

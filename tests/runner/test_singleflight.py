@@ -1,0 +1,133 @@
+"""Cross-process single-flight: two runners, one simulation.
+
+Two ParallelRunners sharing a cache root stand in for two concurrent
+sweep processes.  The claim protocol must guarantee exactly one
+execution per spec, with the loser satisfied from the winner's
+published entry -- and every failure mode (stale claim, orphaned
+claim, failed batch) must degrade to "compute it locally", never to a
+wedge or a wrong result.
+"""
+
+import os
+import threading
+import time
+
+import pytest
+
+import repro.runner.parallel as parallel
+from repro.runner import ParallelRunner, ResultCache, RunSpec
+from repro.soc.presets import zcu102
+
+
+def small_spec(seed=1):
+    return RunSpec(config=zcu102(num_accels=1, cpu_work=100, seed=seed))
+
+
+@pytest.fixture
+def counted_execute(monkeypatch):
+    """Slow the simulator down and count real executions."""
+    calls = []
+    real = parallel._timed_execute
+
+    def slow(spec):
+        calls.append(spec.content_hash())
+        time.sleep(0.4)
+        return real(spec)
+
+    monkeypatch.setattr(parallel, "_timed_execute", slow)
+    return calls
+
+
+class TestConcurrentRunners:
+    def test_same_spec_executes_exactly_once(
+        self, tmp_path, counted_execute
+    ):
+        spec = small_spec(seed=77)
+        barrier = threading.Barrier(2)
+        results = [None, None]
+        stats = [None, None]
+
+        def drive(i):
+            runner = ParallelRunner(
+                max_workers=1, cache=ResultCache(root=str(tmp_path))
+            )
+            barrier.wait()
+            results[i] = runner.run([spec])[0]
+            stats[i] = runner.last_stats
+
+        threads = [
+            threading.Thread(target=drive, args=(i,)) for i in range(2)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+
+        assert len(counted_execute) == 1  # the whole point
+        assert results[0].to_json() == results[1].to_json()
+        assert sum(s.executed for s in stats) == 1
+        loser = next(s for s in stats if s.executed == 0)
+        # The loser either waited out the winner's claim or (rarely)
+        # arrived after publication and scored a plain cache hit.
+        assert loser.single_flight_waited + loser.cache_hits == 1
+
+
+class TestClaimFailureModes:
+    def test_stale_claim_is_stolen_and_executed(self, tmp_path):
+        spec = small_spec(seed=78)
+        orphan = ResultCache(root=str(tmp_path)).try_claim(spec)
+        assert orphan is not None
+        past = time.time() - 3600  # repro: allow[DET001]
+        os.utime(orphan.path, (past, past))
+        cache = ResultCache(root=str(tmp_path), claim_ttl=1.0)
+        runner = ParallelRunner(max_workers=1, cache=cache)
+        runner.run([spec])
+        assert runner.last_stats.executed == 1
+        assert runner.last_stats.single_flight_waited == 0
+
+    def test_fresh_orphan_claim_times_out_to_local_run(self, tmp_path):
+        spec = small_spec(seed=79)
+        orphan = ResultCache(root=str(tmp_path)).try_claim(spec)
+        assert orphan is not None  # never released, never published
+        cache = ResultCache(root=str(tmp_path))
+        runner = ParallelRunner(
+            max_workers=1, cache=cache, claim_wait_seconds=0.2
+        )
+        out = runner.run([spec])
+        stats = runner.last_stats
+        assert stats.executed == 1  # patience ran out, computed locally
+        assert stats.single_flight_waited == 0
+        assert len(out) == 1
+        # The local run still published, so the entry now exists.
+        assert ResultCache(root=str(tmp_path)).get(spec) is not None
+
+    def test_single_flight_off_ignores_claims(self, tmp_path):
+        spec = small_spec(seed=80)
+        assert ResultCache(root=str(tmp_path)).try_claim(spec) is not None
+        cache = ResultCache(root=str(tmp_path))
+        runner = ParallelRunner(
+            max_workers=1,
+            cache=cache,
+            single_flight=False,
+            claim_wait_seconds=2.0,
+        )
+        runner.run([spec])
+        stats = runner.last_stats
+        assert stats.executed == 1
+        assert stats.single_flight_waited == 0
+        assert stats.wall_seconds < 1.5  # never polled the claim
+
+    def test_failed_batch_releases_its_claims(self, tmp_path, monkeypatch):
+        spec = small_spec(seed=81)
+        cache = ResultCache(root=str(tmp_path))
+
+        def boom(s):
+            raise RuntimeError("sim exploded")
+
+        monkeypatch.setattr(parallel, "_timed_execute", boom)
+        runner = ParallelRunner(max_workers=1, cache=cache)
+        with pytest.raises(RuntimeError):
+            runner.run([spec])
+        # No leftover claim: another runner must not wait out the TTL
+        # for a result that will never arrive.
+        assert not os.path.exists(cache.claim_path_for(spec))

@@ -1,0 +1,102 @@
+"""Worker-count resolution: affinity, cgroup quota, REPRO_JOBS.
+
+The automatic worker count must reflect what the container actually
+grants (scheduling affinity clamped by the cgroup-v2 CPU quota), not
+what the machine physically has, and every resolved figure must carry
+a provenance string a bench record can surface.
+"""
+
+import pytest
+
+import repro.runner.parallel as parallel
+from repro.errors import ConfigError
+from repro.runner.parallel import (
+    _affinity_cpus,
+    _cgroup_cpu_quota,
+    default_workers,
+    resolve_workers,
+)
+
+
+def cpu_max(tmp_path, text):
+    path = tmp_path / "cpu.max"
+    path.write_text(text)
+    return str(path)
+
+
+class TestCgroupQuota:
+    def test_unlimited_means_no_clamp(self, tmp_path):
+        assert _cgroup_cpu_quota(cpu_max(tmp_path, "max 100000\n")) is None
+
+    def test_quota_rounds_up_to_whole_cpus(self, tmp_path):
+        assert _cgroup_cpu_quota(cpu_max(tmp_path, "200000 100000")) == 2
+        assert _cgroup_cpu_quota(cpu_max(tmp_path, "150000 100000")) == 2
+        assert _cgroup_cpu_quota(cpu_max(tmp_path, "50000 100000")) == 1
+
+    def test_missing_file_means_no_clamp(self, tmp_path):
+        assert _cgroup_cpu_quota(str(tmp_path / "absent")) is None
+
+    def test_malformed_content_means_no_clamp(self, tmp_path):
+        for text in ("", "garbage", "100000", "a b", "1 2 3", "-1 100000"):
+            assert _cgroup_cpu_quota(cpu_max(tmp_path, text)) is None
+
+
+class TestAffinity:
+    def test_reports_at_least_one_cpu_with_provenance(self):
+        cpus, source = _affinity_cpus()
+        assert cpus >= 1
+        assert source in ("sched_getaffinity", "os.cpu_count")
+
+    def test_falls_back_to_cpu_count(self, monkeypatch):
+        monkeypatch.delattr("os.sched_getaffinity", raising=False)
+        monkeypatch.setattr("os.cpu_count", lambda: 6)
+        assert _affinity_cpus() == (6, "os.cpu_count")
+
+
+class TestResolveWorkers:
+    @pytest.fixture(autouse=True)
+    def no_jobs_env(self, monkeypatch):
+        monkeypatch.delenv("REPRO_JOBS", raising=False)
+
+    def fake_topology(self, monkeypatch, cpus, quota):
+        monkeypatch.setattr(
+            parallel, "_affinity_cpus", lambda: (cpus, "sched_getaffinity")
+        )
+        monkeypatch.setattr(parallel, "_cgroup_cpu_quota", lambda: quota)
+
+    def test_affinity_when_unclamped(self, monkeypatch):
+        self.fake_topology(monkeypatch, cpus=8, quota=None)
+        assert resolve_workers() == (8, "sched_getaffinity")
+        assert default_workers() == 8
+
+    def test_cgroup_quota_clamps_affinity(self, monkeypatch):
+        self.fake_topology(monkeypatch, cpus=8, quota=2)
+        count, source = resolve_workers()
+        assert count == 2
+        assert source == "cgroup cpu.max=2 (clamps sched_getaffinity=8)"
+
+    def test_wide_quota_does_not_inflate(self, monkeypatch):
+        self.fake_topology(monkeypatch, cpus=4, quota=16)
+        assert resolve_workers() == (4, "sched_getaffinity")
+
+    def test_env_override_skips_topology(self, monkeypatch):
+        self.fake_topology(monkeypatch, cpus=8, quota=2)
+        monkeypatch.setenv("REPRO_JOBS", "5")
+        assert resolve_workers() == (5, "REPRO_JOBS=5")
+
+    def test_auto_and_empty_mean_topology(self, monkeypatch):
+        self.fake_topology(monkeypatch, cpus=3, quota=None)
+        for value in ("auto", "AUTO", "", "  "):
+            monkeypatch.setenv("REPRO_JOBS", value)
+            assert resolve_workers() == (3, "sched_getaffinity")
+
+    def test_zero_is_an_error_pointing_at_auto(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "0")
+        with pytest.raises(ConfigError, match="REPRO_JOBS=auto"):
+            resolve_workers()
+
+    def test_negative_and_garbage_rejected(self, monkeypatch):
+        for value in ("-1", "-8", "many", "2.5"):
+            monkeypatch.setenv("REPRO_JOBS", value)
+            with pytest.raises(ConfigError):
+                resolve_workers()
