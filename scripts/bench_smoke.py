@@ -10,7 +10,7 @@ The timings are appended to ``BENCH_runner.json`` so successive PRs
 accumulate a performance trajectory for the experiment engine and the
 simulation kernel under it.
 
-Appended records carry ``schema: 5`` and a ``kind`` discriminator:
+Appended records carry ``schema: 6`` and a ``kind`` discriminator:
 
 * ``runner_sweep``      -- serial vs process-pool wall time (plus the
   scheduler label the sweep ran under and, for serial fallbacks, the
@@ -30,8 +30,15 @@ Appended records carry ``schema: 5`` and a ``kind`` discriminator:
 * ``runner_telemetry``  -- the pool run's execution report
   (:class:`repro.telemetry.RunnerTelemetry`: per-spec seconds,
   worker utilization, cache accounting), nested under ``telemetry``;
-* ``runner_parallel``   -- the forced-parallel proof (new in schema
-  5): the automatically resolved worker count with its provenance
+  since schema 6 the measured pool runs under an explicit
+  ``max_workers="auto"`` (the runner's automatic resolution), so the
+  trajectory tracks the real pool rather than a serial fallback;
+* ``probe_overhead``    -- the live probe plane's cost (new in schema
+  6): ABBA-paired wall times of the fixed hog scenario with a
+  :class:`repro.probes.ProbeSampler` attached vs detached (the same
+  harness ``scripts/check_probe_overhead.py`` gates CI with);
+* ``runner_parallel``   -- the forced-parallel proof (schema 5):
+  the automatically resolved worker count with its provenance
   (affinity mask / cgroup quota / ``REPRO_JOBS``), plus the same
   sweep under a forced ``REPRO_JOBS=2``, which must engage the pool
   (no ``max_workers=1`` fallback) and stay byte-identical to the
@@ -68,7 +75,11 @@ from repro.sim.kernel import SCHED_ENV, resolve_scheduler  # noqa: E402
 from repro.soc.presets import zcu102  # noqa: E402
 
 #: Schema version stamped on every appended record.
-SCHEMA = 5
+SCHEMA = 6
+
+#: ABBA rounds for the probe-overhead record (the CI gate uses its
+#: own, stricter repeat count).
+PROBE_REPEATS = 3
 
 #: Worker count forced (via ``REPRO_JOBS``) for the parallel proof.
 FORCED_JOBS = 2
@@ -237,11 +248,13 @@ def main(argv=None) -> int:
 
     # Serial sweeps over the same grid under every scheduler (best-of
     # repeats, shared with the auto gate), then the process pool under
-    # the default scheduler.
+    # the default scheduler.  The pool runs with an explicit
+    # max_workers="auto" so the telemetry record measures the runner's
+    # automatic worker resolution, not a serial fallback.
     times, rows_by_sched = auto_sweep_gate()
     calendar_rows = rows_by_sched["calendar"]
     heap_s, calendar_s = times["heap"], times["calendar"]
-    parallel_rows, parallel_s, parallel_runner = timed_run(max_workers=None)
+    parallel_rows, parallel_s, parallel_runner = timed_run(max_workers="auto")
     stats = parallel_runner.last_stats
     mode = stats.mode
 
@@ -352,7 +365,29 @@ def main(argv=None) -> int:
         {
             "schema": SCHEMA,
             "kind": "runner_telemetry",
+            "max_workers": "auto",
+            "parallel_mode": mode,
             "telemetry": telemetry,
+            "timestamp": _timestamp(),
+        }
+    )
+
+    from repro.probes.sampler import resolve_probe_period
+    from scripts.check_probe_overhead import measure_probe_overhead
+
+    probe_period = resolve_probe_period()
+    probe_ratio, attached_s, detached_s = measure_probe_overhead(
+        repeats=PROBE_REPEATS, period=probe_period
+    )
+    records.append(
+        {
+            "schema": SCHEMA,
+            "kind": "probe_overhead",
+            "period": probe_period,
+            "repeats": PROBE_REPEATS,
+            "attached_s": round(attached_s, 3),
+            "detached_s": round(detached_s, 3),
+            "attached_vs_detached": round(probe_ratio, 3),
             "timestamp": _timestamp(),
         }
     )
@@ -438,6 +473,11 @@ def main(argv=None) -> int:
         f"{telemetry['utilization']:.0%} over {telemetry['workers']} workers "
         f"({telemetry['executed']} executed, "
         f"{telemetry['cache_hits']} cache hits)"
+    )
+    print(
+        f"bench_smoke: probe overhead attached {attached_s:.3f}s vs "
+        f"detached {detached_s:.3f}s at period {probe_period} "
+        f"(x{probe_ratio:.3f} paired)"
     )
     print(
         f"bench_smoke: auto workers {auto_workers} via {auto_source}; "

@@ -1,0 +1,127 @@
+#!/usr/bin/env python
+"""Probe-sampler overhead gate for CI.
+
+Runs a fixed regulated hog scenario with a :class:`ProbeSampler`
+attached (full platform probe set, default sampling period) and
+detached in the same process and fails when the *attached*
+configuration is more than ``--tolerance`` slower than the detached
+one.  Probe reads are pull-based and allocation-free by design (see
+``docs/observability.md``); sampling cost creeping onto the hot path
+shows up as the attached run falling behind the detached one, which
+is exactly the gap this gate rejects.
+
+Same-run comparison is deliberate: absolute wall times track the box
+the gate runs on and cannot gate CI runners.  The measurement is
+*paired* in ABBA order: after a discarded warm-up each repeat times
+attached, detached, detached, attached and judges the **median ratio
+of the pair sums** -- linear drift (frequency scaling, noisy
+neighbours) and first-position bias (the second run of a back-to-back
+pair sees a warmed allocator) hit both halves equally and cancel, so
+shared-box noise does not masquerade as probe overhead.
+
+Usage::
+
+    PYTHONPATH=src python scripts/check_probe_overhead.py \
+        [--repeats 5] [--tolerance 0.02] [--period 4096]
+
+Exit code 0 = within tolerance.
+"""
+
+from __future__ import annotations
+
+import argparse
+import gc
+import os
+import statistics
+import sys
+import time
+
+_HERE = os.path.dirname(os.path.abspath(__file__))
+sys.path.insert(0, os.path.join(_HERE, "..", "src"))
+
+from repro.probes.sampler import DEFAULT_PROBE_PERIOD, ProbeSampler  # noqa: E402
+from repro.soc.platform import Platform  # noqa: E402
+from repro.soc.presets import zcu102  # noqa: E402
+
+#: Fixed workload: the hog scenario, sized so one run takes a stable
+#: fraction of a second without stretching the gate.
+HOGS = 2
+CPU_WORK = 2_000
+MAX_CYCLES = 400_000
+
+
+def _sample(attach: bool, period: int) -> float:
+    """Wall seconds for one platform run, sampler attached or not.
+
+    Collector pauses land randomly and would dominate the percent-level
+    signal this gate judges, so the timed region runs with GC off.
+    """
+    platform = Platform(zcu102(num_accels=HOGS, cpu_work=CPU_WORK))
+    if attach:
+        ProbeSampler(platform.sim, platform.probes, period=period).attach()
+    gc.collect()
+    gc.disable()
+    try:
+        start = time.perf_counter()
+        platform.run(MAX_CYCLES)
+        return time.perf_counter() - start
+    finally:
+        gc.enable()
+
+
+def measure_probe_overhead(repeats: int, period: int):
+    """Interleaved ABBA-paired measurement.
+
+    Returns ``(ratio, attached_s, detached_s)``: the median
+    attached/detached ratio of pair sums over ``repeats`` ABBA
+    rounds plus the best-of single-run times (the latter only for
+    display -- the gate judges the paired ratio).
+    """
+    _sample(False, period)  # discarded warm-up
+    ratios = []
+    attached_times = []
+    detached_times = []
+    for _ in range(repeats):
+        a1 = _sample(True, period)
+        d1 = _sample(False, period)
+        d2 = _sample(False, period)
+        a2 = _sample(True, period)
+        attached_times += [a1, a2]
+        detached_times += [d1, d2]
+        ratios.append((a1 + a2) / (d1 + d2))
+    return statistics.median(ratios), min(attached_times), min(detached_times)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--repeats", type=int, default=5,
+                        help="interleaved attached/detached pairs "
+                             "(median ratio)")
+    parser.add_argument("--tolerance", type=float, default=0.02,
+                        help="allowed fractional slowdown attached vs "
+                             "detached")
+    parser.add_argument("--period", type=int, default=DEFAULT_PROBE_PERIOD,
+                        help="sampling period in cycles")
+    args = parser.parse_args(argv)
+
+    ratio, attached_s, detached_s = measure_probe_overhead(
+        args.repeats, args.period
+    )
+    print(
+        f"probe overhead: attached {attached_s:.3f}s, "
+        f"detached {detached_s:.3f}s at period {args.period} "
+        f"(median paired attached/detached {ratio:.3f}, "
+        f"tolerance {args.tolerance:.0%})"
+    )
+    if ratio > 1.0 + args.tolerance:
+        print(
+            f"FAIL: attached-sampler run regressed {ratio - 1.0:.1%} "
+            "vs detached (same run, paired)",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

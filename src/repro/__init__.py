@@ -33,6 +33,7 @@ from repro.errors import (
     CheckError,
     ConfigError,
     LintError,
+    ProbeError,
     ProtocolError,
     RegulationError,
     ReproError,
@@ -71,6 +72,19 @@ from repro.soc.experiment import (
 from repro.soc.hierarchy import TwoLevelConfig, TwoLevelPlatform
 from repro.soc.platform import MasterSpec, Platform, PlatformConfig
 from repro.soc.presets import kv260, zcu102
+from repro.probes import (
+    FlightRecorder,
+    Probe,
+    ProbeMap,
+    ProbeSampler,
+    SloRule,
+    SloViolation,
+    WatchView,
+    build_probe_map,
+    iter_watch,
+    parse_rules,
+    probe_list,
+)
 from repro.runner import (
     ParallelRunner,
     ResultCache,
@@ -114,6 +128,7 @@ __all__ = [
     "CheckError",
     "ConfigError",
     "LintError",
+    "ProbeError",
     "ProtocolError",
     "RegulationError",
     "ReproError",
@@ -170,6 +185,18 @@ __all__ = [
     "TwoLevelPlatform",
     "kv260",
     "zcu102",
+    # probes (live observability plane)
+    "FlightRecorder",
+    "Probe",
+    "ProbeMap",
+    "ProbeSampler",
+    "SloRule",
+    "SloViolation",
+    "WatchView",
+    "build_probe_map",
+    "iter_watch",
+    "parse_rules",
+    "probe_list",
     # runner
     "ParallelRunner",
     "ResultCache",

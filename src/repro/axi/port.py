@@ -17,7 +17,7 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass
-from typing import Callable, Deque, List, Optional, TYPE_CHECKING
+from typing import Callable, Deque, List, Optional, Tuple, TYPE_CHECKING
 
 from repro.errors import ConfigError, ProtocolError
 from repro.sim.kernel import Phase, Simulator
@@ -45,12 +45,19 @@ class PortConfig:
             masters), a stalled write at the head blocks queued reads
             behind it; split channels remove that head-of-line
             coupling, as real AXI masters do.
+        throttle_log_limit: Most recent closed throttle intervals the
+            port retains (a ring buffer -- long served runs must not
+            grow memory per denial).  ``None`` keeps every interval;
+            overwritten intervals are counted in
+            :attr:`MasterPort.throttle_dropped` and the cumulative
+            throttled-cycle total stays exact either way.
     """
 
     name: str
     max_outstanding: int = 8
     qos: int = 0
     split_channels: bool = False
+    throttle_log_limit: Optional[int] = 4096
 
     def __post_init__(self) -> None:
         if self.max_outstanding < 1:
@@ -60,6 +67,11 @@ class PortConfig:
             )
         if not 0 <= self.qos <= 15:
             raise ConfigError(f"port {self.name!r}: qos {self.qos} outside 0..15")
+        if self.throttle_log_limit is not None and self.throttle_log_limit < 1:
+            raise ConfigError(
+                f"port {self.name!r}: throttle_log_limit must be >= 1 "
+                f"or None, got {self.throttle_log_limit}"
+            )
 
 
 class MasterPort:
@@ -126,11 +138,22 @@ class MasterPort:
         self._tm_outstanding = registry.histogram(
             "axi_outstanding_depth", master=self.name
         )
-        #: Closed throttle intervals ``(start, end)``: spans during
-        #: which the head-of-line transaction was held back by the
-        #: regulator.  Feeds the Perfetto exporter's regulator tracks.
-        self.throttle_log: List[tuple] = []
+        # Closed throttle intervals (start, end): spans during which
+        # the head-of-line transaction was held back by the regulator.
+        # Ring-bounded by config.throttle_log_limit; read through
+        # throttle_intervals() / the throttle_log property.
+        self._throttle_log: Deque[Tuple[int, int]] = deque(
+            maxlen=config.throttle_log_limit
+        )
+        #: Closed intervals overwritten because the ring was full.
+        self.throttle_dropped = 0
+        #: Cumulative cycles spent in *closed* throttle intervals
+        #: (exact even after the ring drops old intervals).
+        self.throttle_cycles = 0
         self._throttle_since: Optional[int] = None
+        #: Latency of the most recently completed transaction (0
+        #: before the first completion); a live-probe register.
+        self.last_latency = 0
         if regulator is not None:
             regulator.bind_port(self)
             sim.add_finalizer(self._close_throttle)
@@ -248,7 +271,7 @@ class MasterPort:
         if self.regulator is not None:
             self.regulator.charge(txn, self.sim.now)
             if self._throttle_since is not None:
-                self.throttle_log.append((self._throttle_since, self.sim.now))
+                self._append_throttle(self._throttle_since, self.sim.now)
                 self._throttle_since = None
         self._stat_accepted.add()
         self._tm_accepted.inc()
@@ -267,7 +290,9 @@ class MasterPort:
         self._stat_completed.add()
         self._tm_completed.inc()
         self._stat_bytes.add(txn.nbytes)
-        self._samp_latency.record(txn.latency)
+        latency = txn.latency
+        self.last_latency = latency
+        self._samp_latency.record(latency)
         # Flattened single-observer fast path: almost every port has
         # exactly one beat observer (its bandwidth monitor), and this
         # runs once per completed transaction.
@@ -308,11 +333,41 @@ class MasterPort:
     # ------------------------------------------------------------------
     # regulator support
     # ------------------------------------------------------------------
+    def _append_throttle(self, start: int, end: int) -> None:
+        """Record one closed throttle interval into the bounded ring."""
+        log = self._throttle_log
+        if log.maxlen is not None and len(log) == log.maxlen:
+            self.throttle_dropped += 1
+        log.append((start, end))
+        self.throttle_cycles += end - start
+
+    def throttle_intervals(self) -> List[Tuple[int, int]]:
+        """Retained closed throttle intervals, oldest first.
+
+        The accessor consumers (Perfetto export, probes) should use;
+        at most ``config.throttle_log_limit`` intervals are retained
+        (:attr:`throttle_dropped` counts overwritten ones).
+        """
+        return list(self._throttle_log)
+
+    @property
+    def throttle_log(self) -> "Deque[Tuple[int, int]]":
+        """The live interval ring (read-only compatibility view)."""
+        return self._throttle_log
+
+    def throttle_cycles_at(self, now: int) -> int:
+        """Total throttled cycles up to ``now``, open interval included."""
+        total = self.throttle_cycles
+        since = self._throttle_since
+        if since is not None and now > since:
+            total += now - since
+        return total
+
     def _close_throttle(self, now: int) -> None:
         """Run finalizer: close a throttle interval left open at the
         end of a run (denied and never re-accepted)."""
         if self._throttle_since is not None and now > self._throttle_since:
-            self.throttle_log.append((self._throttle_since, now))
+            self._append_throttle(self._throttle_since, now)
             self._throttle_since = None
 
     def regulator_released(self) -> None:

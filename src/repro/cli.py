@@ -12,6 +12,8 @@ Small, scriptable front-ends over the experiment API::
     python -m repro check lint src/
     python -m repro check sanitize --diff
     python -m repro serve --socket .repro_serve.sock
+    python -m repro watch --socket .repro_serve.sock --once --json
+    python -m repro watch adas --slo '["port/cam/last_latency<=500"]'
 
 Every subcommand prints an aligned table on stdout and returns a
 process exit code (0 = success), so the CLI slots into shell
@@ -22,7 +24,7 @@ from __future__ import annotations
 
 import argparse
 import sys
-from typing import List, Optional, Sequence
+from typing import Optional, Sequence
 
 from repro.analysis.bounds import CoRunnerEnvelope, worst_case_read_latency
 from repro.analysis.metrics import regulation_error, slowdown
@@ -203,9 +205,10 @@ def cmd_scenario(args) -> int:
     return 0
 
 
-def cmd_profile(args) -> int:
+def _experiment_config(args):
+    """Resolve an ``experiment`` argument (``zcu102`` or a scenario
+    name) plus the shared regulator knobs into a platform config."""
     from repro.soc.scenarios import SCENARIOS, make_scenario
-    from repro.telemetry import profile_experiment
 
     spec = _spec_from_args(args)
     if args.experiment in SCENARIOS:
@@ -215,14 +218,18 @@ def cmd_profile(args) -> int:
             regulators = {
                 a.name: spec for a in scenario.actors if not a.critical
             }
-        config = make_scenario(args.experiment, regulators=regulators)
-    elif args.experiment == "zcu102":
-        config = zcu102(
+        return make_scenario(args.experiment, regulators=regulators)
+    if args.experiment == "zcu102":
+        return zcu102(
             num_accels=args.hogs, cpu_work=args.work, accel_regulator=spec
         )
-    else:
-        print(f"error: unknown experiment {args.experiment!r}", file=sys.stderr)
-        return 2
+    raise ReproError(f"unknown experiment {args.experiment!r}")
+
+
+def cmd_profile(args) -> int:
+    from repro.telemetry import profile_experiment
+
+    config = _experiment_config(args)
     result, profiler = profile_experiment(config, max_cycles=args.max_cycles)
     print(profiler.format_table(limit=args.limit))
     print(
@@ -345,6 +352,128 @@ def cmd_serve(args) -> int:
         f"{stats.coalesced} coalesced, {stats.batches} batches, "
         f"{stats.errors} errors"
     )
+    return 0
+
+
+def cmd_watch(args) -> int:
+    if args.socket:
+        return _watch_socket(args)
+    return _watch_local(args)
+
+
+def _watch_socket(args) -> int:
+    """Attach to a ``repro serve`` socket and stream probe frames."""
+    import json
+
+    from repro.probes import WatchView, iter_watch
+
+    view = WatchView()
+    max_frames = 1 if args.once else args.max_frames
+    frames = 0
+    try:
+        for message in iter_watch(
+            args.socket,
+            probes=args.probes,
+            max_frames=max_frames,
+            timeout=args.timeout,
+        ):
+            event = message.get("event")
+            if event == "frame":
+                frames += 1
+                if args.json:
+                    print(json.dumps(message))
+                else:
+                    print(view.render(message))
+            elif event == "meta" and not args.json:
+                print(
+                    f"watching run {message.get('run', '<pending>')} "
+                    f"({len(message.get('probes', []))} probes)"
+                )
+            elif event == "end" and not args.json:
+                print(f"run {message.get('run', '?')} finished")
+    except OSError as exc:
+        print(f"error: watch on {args.socket}: {exc}", file=sys.stderr)
+        return 1
+    if frames == 0:
+        print("error: no frames received", file=sys.stderr)
+        return 1
+    return 0
+
+
+def _watch_local(args) -> int:
+    """Run an experiment locally with a sampler attached and render
+    its frames (one table or JSON line per sample)."""
+    import json
+
+    from repro.probes import (
+        FlightRecorder,
+        ProbeSampler,
+        WatchView,
+        rules_from_json,
+    )
+    from repro.soc.platform import Platform
+
+    config = _experiment_config(args)
+    platform = Platform(config)
+    sampler = ProbeSampler(
+        platform.sim,
+        platform.probes,
+        probes=args.probes,
+        period=args.sample_period,
+    )
+    if args.slo:
+        raw = args.slo.strip()
+        if raw.startswith("["):
+            rules = rules_from_json(raw)
+        else:
+            try:
+                with open(raw, encoding="utf-8") as fh:
+                    rules = rules_from_json(fh.read())
+            except OSError as exc:
+                print(f"error: --slo {raw!r}: {exc}", file=sys.stderr)
+                return 2
+        recorder = FlightRecorder(rules, out_dir=args.flightrec)
+    else:
+        recorder = FlightRecorder.from_env()
+    if recorder is not None:
+        recorder.context.setdefault("experiment", args.experiment)
+        recorder.arm(sampler)
+
+    view = WatchView()
+    printed = 0
+    limit = args.max_frames if not args.once else None
+
+    def emit(now, names, row) -> None:
+        nonlocal printed
+        values = dict(zip(names, row))
+        if args.json:
+            print(json.dumps({"event": "frame", "time": now, "values": values}))
+        else:
+            print(view.render({"time": now, "values": values}))
+        printed += 1
+        if limit is not None and printed >= limit:
+            platform.sim.request_stop()
+
+    if not args.once:
+        sampler.consumers.append(emit)
+    sampler.attach()
+    elapsed = platform.run(args.max_cycles)
+    if args.once:
+        frame = sampler.last_frame()
+        if frame is None:
+            print(
+                f"error: run ended at cycle {elapsed} before the first "
+                f"sample (period {sampler.period}); lower --sample-period",
+                file=sys.stderr,
+            )
+            return 1
+        if args.json:
+            print(json.dumps({"event": "frame", **frame}))
+        else:
+            print(view.render(frame))
+    if recorder is not None and recorder.dump_dirs:
+        for path in recorder.dump_dirs:
+            print(f"flight recorder: dumped {path}")
     return 0
 
 
@@ -527,6 +656,49 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--max-requests", type=int, default=None,
                    help="exit after N run requests (default: serve forever)")
     p.set_defaults(fn=cmd_serve)
+
+    p = sub.add_parser(
+        "watch",
+        help="live probe view: per-master bandwidth, throttle duty, "
+             "budget headroom",
+    )
+    p.add_argument("experiment", nargs="?", default="zcu102",
+                   help="'zcu102' or a scenario name (local mode; "
+                        "ignored with --socket)")
+    p.add_argument("--socket", default=None,
+                   help="attach to a 'repro serve' socket instead of "
+                        "running locally")
+    p.add_argument("--probes", nargs="+", default=None, metavar="GLOB",
+                   help="probe-name glob patterns (default: all probes)")
+    p.add_argument("--once", action="store_true",
+                   help="print one frame and exit")
+    p.add_argument("--json", action="store_true",
+                   help="newline-JSON frames instead of tables")
+    p.add_argument("--max-frames", type=int, default=None,
+                   help="stop after N frames")
+    p.add_argument("--timeout", type=float, default=None,
+                   help="per-read socket timeout in seconds (socket mode)")
+    p.add_argument("--sample-period", type=int, default=None,
+                   help="sampling period in cycles (default: "
+                        "REPRO_PROBE_PERIOD or 4096; local mode)")
+    p.add_argument("--max-cycles", type=int, default=DEFAULT_MAX_CYCLES)
+    p.add_argument("--slo", default=None,
+                   help="SLO rules arming a flight recorder: inline JSON "
+                        "list or a file path (local mode; default: "
+                        "REPRO_SLO)")
+    p.add_argument("--flightrec", default=None,
+                   help="flight-recorder dump root (default: "
+                        "REPRO_FLIGHTREC or results/flightrec)")
+    p.add_argument("--kind", default="tightly_coupled",
+                   choices=["none", "tightly_coupled", "memguard"])
+    p.add_argument("--share", type=float, default=0.1)
+    p.add_argument("--window", type=int, default=256)
+    p.add_argument("--period", type=int, default=100_000)
+    p.add_argument("--hogs", type=int, default=4)
+    p.add_argument("--work", type=int, default=3000)
+    p.add_argument("--work-conserving", action="store_true")
+    p.add_argument("--reclaim", action="store_true")
+    p.set_defaults(fn=cmd_watch)
 
     p = sub.add_parser("report", help="full scenario report")
     p.add_argument("--kind", default="tightly_coupled",

@@ -51,6 +51,15 @@ class CacheError(ReproError):
     """
 
 
+class ProbeError(ReproError):
+    """The live probe plane was configured or driven inconsistently.
+
+    Examples: registering two probes under one name, selecting a
+    pattern that matches nothing, a malformed SLO rule, or an SLO
+    bound on a probe the sampler does not sample.
+    """
+
+
 class ServeError(ReproError):
     """A ``repro serve`` request failed at the protocol level.
 

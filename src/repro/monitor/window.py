@@ -102,6 +102,10 @@ class WindowedBandwidthMonitor:
     def total_bytes(self) -> int:
         return int(self._series.total())
 
+    def current_window_bytes(self) -> int:
+        """Bytes in the most recently touched window (live view)."""
+        return int(self._series.last_bin())
+
     def peak_window_bytes(self) -> int:
         return int(self._series.max_bin())
 

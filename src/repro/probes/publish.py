@@ -1,0 +1,74 @@
+"""Process-global probe-frame publisher hook.
+
+The bridge between an in-flight simulation and streaming consumers:
+``repro serve`` installs a publisher; :func:`~repro.runner.parallel.
+execute_spec` checks for one before running and, when present,
+attaches a :class:`~repro.probes.sampler.ProbeSampler` whose frames
+are relayed as plain dicts.
+
+The hook is deliberately a module global rather than a ``RunSpec``
+field: spec content hashes (cache keys, dedup keys, coalescing keys)
+must not depend on who is watching.  Pool workers are separate
+processes where the global is unset, so pooled execution is untouched
+-- live watching covers in-process execution (``repro serve
+--jobs 1``), which is also the only place the frames could cross into
+the server's event loop without extra plumbing.
+
+Published events (one dict per call):
+
+* ``{"event": "meta", "run": <hash>, "probes": [<metadata>...]}``
+  once, before the first frame;
+* ``{"event": "frame", "run": <hash>, "time": <cycle>,
+  "values": {<probe>: <value>, ...}}`` per sample;
+* ``{"event": "end", "run": <hash>}`` after the run completes.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+Publisher = Callable[[Dict[str, Any]], None]
+
+_publisher: Optional[Publisher] = None
+
+
+def set_publisher(fn: Publisher) -> None:
+    """Install the process-wide frame publisher (one at a time)."""
+    global _publisher
+    _publisher = fn
+
+
+def clear_publisher() -> None:
+    """Remove the publisher (no-op when none is installed)."""
+    global _publisher
+    _publisher = None
+
+
+def get_publisher() -> Optional[Publisher]:
+    """The installed publisher, or ``None``."""
+    return _publisher
+
+
+class FrameRelay:
+    """Sampler consumer that forwards frames to a publisher.
+
+    The relay copies the sampler's live row into a fresh dict per
+    frame -- the publisher hands the dict to another thread/event
+    loop, so it must own its memory.
+    """
+
+    def __init__(self, publisher: Publisher, run: str) -> None:
+        self.publisher = publisher
+        self.run = run
+
+    def __call__(
+        self, now: int, names: Tuple[str, ...], row: List[Any]
+    ) -> None:
+        self.publisher(
+            {
+                "event": "frame",
+                "run": self.run,
+                "time": now,
+                "values": dict(zip(names, row)),
+            }
+        )

@@ -1,0 +1,143 @@
+"""Declarative SLO rules over probe frames.
+
+A rule bounds one probe: ``port/cpu0/last_latency <= 400`` declares a
+latency SLO, ``mon/acc0/window_bytes <= 4096`` a bandwidth SLO,
+``reg/acc0/tokens >= 0`` a budget-headroom SLO.  Rules are plain data
+(JSON dicts or a one-line DSL string), evaluated per sampled frame by
+the flight recorder (:mod:`repro.probes.flightrec`).
+
+The comparison direction is the *allowed* region: ``<=`` means the
+value must stay at or below the limit, ``>=`` at or above; a frame
+outside the region is a violation.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass
+from typing import Any, Dict, Iterable, List, Union
+
+from repro.errors import ProbeError
+
+_OPS = ("<=", ">=")
+
+
+@dataclass(frozen=True)
+class SloRule:
+    """One bound on one probe.
+
+    Attributes:
+        probe: Full probe name (``component/master/metric``).
+        op: ``"<="`` (value must not exceed ``limit``) or ``">="``
+            (value must not fall below ``limit``).
+        limit: The bound.
+        name: Optional human label; defaults to the rule's DSL form.
+    """
+
+    probe: str
+    op: str
+    limit: float
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        if self.op not in _OPS:
+            raise ProbeError(f"SLO op must be one of {_OPS}, got {self.op!r}")
+        if not self.probe:
+            raise ProbeError("SLO rule needs a probe name")
+        if not self.name:
+            object.__setattr__(
+                self, "name", f"{self.probe}{self.op}{self.limit:g}"
+            )
+
+    def violated(self, value: float) -> bool:
+        """True when ``value`` lies outside the allowed region."""
+        if self.op == "<=":
+            return value > self.limit
+        return value < self.limit
+
+    def to_dict(self) -> Dict[str, Any]:
+        return asdict(self)
+
+
+@dataclass(frozen=True)
+class SloViolation:
+    """One observed rule violation (what the flight recorder dumps)."""
+
+    rule: SloRule
+    time: int
+    value: float
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "rule": self.rule.to_dict(),
+            "time": self.time,
+            "value": self.value,
+        }
+
+
+def _rule_from_string(text: str) -> SloRule:
+    for op in _OPS:
+        if op in text:
+            probe, _, limit = text.partition(op)
+            try:
+                bound = float(limit.strip())
+            except ValueError:
+                raise ProbeError(
+                    f"SLO rule {text!r}: limit {limit.strip()!r} "
+                    f"is not a number"
+                ) from None
+            return SloRule(probe=probe.strip(), op=op, limit=bound)
+    raise ProbeError(
+        f"SLO rule {text!r}: expected '<probe><=|>=<limit>'"
+    )
+
+
+def parse_rules(
+    data: Iterable[Union[str, Dict[str, Any]]]
+) -> List[SloRule]:
+    """Build rules from DSL strings and/or JSON-style dicts.
+
+    Accepts a mix of ``"port/cpu0/last_latency<=400"`` strings and
+    ``{"probe": ..., "op": ..., "limit": ..., "name": ...}`` dicts.
+
+    Raises:
+        ProbeError: an entry is neither form, or is malformed.
+    """
+    rules: List[SloRule] = []
+    for entry in data:
+        if isinstance(entry, str):
+            rules.append(_rule_from_string(entry))
+        elif isinstance(entry, dict):
+            try:
+                rules.append(
+                    SloRule(
+                        probe=str(entry["probe"]),
+                        op=str(entry.get("op", "<=")),
+                        limit=float(entry["limit"]),
+                        name=str(entry.get("name", "")),
+                    )
+                )
+            except KeyError as exc:
+                raise ProbeError(
+                    f"SLO rule {entry!r} missing key {exc}"
+                ) from None
+        else:
+            raise ProbeError(
+                f"SLO rule must be a string or dict, got {type(entry).__name__}"
+            )
+    return rules
+
+
+def rules_from_json(text: str) -> List[SloRule]:
+    """Parse a JSON document: a list of rule strings/dicts.
+
+    Raises:
+        ProbeError: the document is not valid JSON or not a list.
+    """
+    try:
+        data = json.loads(text)
+    except ValueError as exc:
+        raise ProbeError(f"SLO rules are not valid JSON: {exc}") from None
+    if not isinstance(data, list):
+        raise ProbeError("SLO rules JSON must be a list")
+    return parse_rules(data)

@@ -1,0 +1,152 @@
+"""Synchronous ``watch`` client and the terminal frame renderer.
+
+The client side of the ``repro serve`` watch protocol (see
+:mod:`repro.runner.serve`): subscribe over the Unix socket, iterate
+frames as in-flight runs publish them.  The renderer turns raw probe
+frames into the live per-master view ``repro watch`` prints --
+bandwidth, throttle duty, budget headroom, last latency -- deriving
+rates from deltas between consecutive frames.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+from typing import Any, Dict, Iterator, List, Optional, Sequence
+
+from repro.errors import ServeError
+
+
+def iter_watch(
+    socket_path: str,
+    probes: Optional[Sequence[str]] = None,
+    max_frames: Optional[int] = None,
+    timeout: Optional[float] = None,
+    request_id: Any = 0,
+) -> Iterator[Dict[str, Any]]:
+    """Subscribe to probe frames from a :class:`BatchServer`.
+
+    Yields the server's messages in order: optional ``meta`` dicts
+    (``{"probes": [...]}``) and ``frame`` dicts (``{"frame": {...}}``)
+    until ``max_frames`` frames were delivered (server closes the
+    subscription with a ``done`` line) or the connection ends.
+
+    Args:
+        socket_path: The server's Unix socket.
+        probes: Optional glob patterns; the server filters frame
+            values to matching probe names.
+        max_frames: Stop after this many frames (``None`` = stream
+            until the connection drops).
+        timeout: Per-read socket timeout in seconds (``None`` waits
+            indefinitely).
+        request_id: Echoed back by the server.
+
+    Raises:
+        ServeError: The server answered with a protocol error.
+    """
+    payload: Dict[str, Any] = {"op": "watch", "id": request_id}
+    if probes:
+        payload["probes"] = list(probes)
+    if max_frames is not None:
+        payload["max_frames"] = max_frames
+    with socket.socket(socket.AF_UNIX, socket.SOCK_STREAM) as sock:
+        sock.settimeout(timeout)
+        sock.connect(socket_path)
+        sock.sendall(json.dumps(payload).encode("utf-8") + b"\n")
+        with sock.makefile("r", encoding="utf-8") as stream:
+            for line in stream:
+                message = json.loads(line)
+                if message.get("error"):
+                    raise ServeError(str(message["error"]))
+                if message.get("watching"):
+                    continue  # subscription ack
+                if message.get("done"):
+                    return
+                yield message
+
+
+def probe_list(
+    socket_path: str, timeout: Optional[float] = 5.0, request_id: Any = 0
+) -> List[Dict[str, Any]]:
+    """Probe metadata of the most recent published run (may be empty).
+
+    Raises:
+        ServeError: The server answered with a protocol error or the
+            connection ended before a reply.
+    """
+    with socket.socket(socket.AF_UNIX, socket.SOCK_STREAM) as sock:
+        sock.settimeout(timeout)
+        sock.connect(socket_path)
+        request = {"op": "probe_list", "id": request_id}
+        sock.sendall(json.dumps(request).encode("utf-8") + b"\n")
+        with sock.makefile("r", encoding="utf-8") as stream:
+            line = stream.readline()
+    if not line:
+        raise ServeError("connection closed before the probe list arrived")
+    message = json.loads(line)
+    if message.get("error"):
+        raise ServeError(str(message["error"]))
+    return list(message.get("probes", []))
+
+
+class WatchView:
+    """Render probe frames as a per-master terminal table.
+
+    Stateful: rates (bandwidth, throttle duty) are deltas between the
+    current and the previous rendered frame, so feed frames in order.
+    """
+
+    def __init__(self) -> None:
+        self._prev_time: Optional[int] = None
+        self._prev_values: Dict[str, Any] = {}
+
+    @staticmethod
+    def _masters(values: Dict[str, Any]) -> List[str]:
+        masters = set()
+        for name in values:
+            parts = name.split("/")
+            if len(parts) == 3:
+                masters.add(parts[1])
+        return sorted(masters)
+
+    def render(self, frame: Dict[str, Any]) -> str:
+        """One aligned table for one frame dict."""
+        from repro.analysis.sweep import format_table
+
+        time = int(frame.get("time", 0))
+        values: Dict[str, Any] = frame.get("values", {})
+        prev_time = self._prev_time
+        prev = self._prev_values
+        span = time - prev_time if prev_time is not None else time
+        rows = []
+        for master in self._masters(values):
+            row: Dict[str, Any] = {"master": master}
+            nbytes = values.get(f"port/{master}/bytes")
+            if nbytes is not None and span > 0:
+                before = prev.get(f"port/{master}/bytes", 0)
+                row["bandwidth_B_cyc"] = (nbytes - before) / span
+            throttle = values.get(f"port/{master}/throttle_cycles")
+            if throttle is not None and span > 0:
+                before = prev.get(f"port/{master}/throttle_cycles", 0)
+                row["throttle_duty"] = (throttle - before) / span
+            tokens = values.get(f"reg/{master}/tokens")
+            budget = values.get(f"reg/{master}/budget_bytes")
+            if tokens is not None and budget:
+                row["headroom"] = tokens / budget
+            latency = values.get(f"port/{master}/last_latency")
+            if latency is not None:
+                row["last_latency"] = latency
+            outstanding = values.get(f"port/{master}/outstanding")
+            if outstanding is not None:
+                row["outstanding"] = outstanding
+            rows.append(row)
+        self._prev_time = time
+        self._prev_values = dict(values)
+        if not rows:
+            return f"cycle {time}: no per-master probes in frame"
+        columns: List[str] = []
+        for row in rows:
+            for key in row:
+                if key not in columns:
+                    columns.append(key)
+        return format_table(rows, columns=columns, title=f"cycle {time}")

@@ -337,3 +337,12 @@ class TightlyCoupledRegulator(BandwidthRegulator):
     def tokens_now(self) -> int:
         """Credit available this cycle (true, not delayed, view)."""
         return self._bucket.tokens_at(self.sim.now)
+
+    def peek_tokens(self) -> int:
+        """Side-effect-free view of this cycle's credit.
+
+        Used by the probe plane: unlike :meth:`tokens_now` it never
+        advances the bucket's refill bookkeeping, so sampling it
+        cannot perturb any observable counter.
+        """
+        return self._bucket.peek_tokens(self.sim.now)

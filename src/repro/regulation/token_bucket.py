@@ -84,6 +84,23 @@ class TokenBucket:
         self._advance(now)
         return self._tokens
 
+    def peek_tokens(self, now: int) -> int:
+        """Tokens that would be available at ``now``, without mutating.
+
+        The read-only twin of :meth:`tokens_at` for observers (probe
+        reads): applying pending refills here would be idempotent for
+        the balance, but it would advance ``refills`` -- an observable
+        counter -- so a pure computation keeps sampled and unsampled
+        runs identical.  ``now`` in the past simply reports the
+        current balance.
+        """
+        if now <= self._last_refill:
+            return self._tokens
+        periods = (now - self._last_refill) // self.refill_period
+        if not periods:
+            return self._tokens
+        return min(self.capacity, self._tokens + periods * self.refill_amount)
+
     def try_consume(self, amount: int, now: int) -> bool:
         """Atomically consume ``amount`` tokens if available."""
         if amount < 0:

@@ -34,10 +34,13 @@ from __future__ import annotations
 import os
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.errors import ConfigError
 from repro.monitor.window import WindowedBandwidthMonitor
+from repro.probes.flightrec import FlightRecorder
+from repro.probes.publish import FrameRelay, get_publisher
+from repro.probes.sampler import ProbeSampler
 from repro.runner.cache import CacheClaim, ResultCache
 from repro.runner.pool import PoolUnavailable, WorkerPool
 from repro.runner.spec import RunSpec
@@ -60,6 +63,42 @@ DEFAULT_CLAIM_WAIT = 600.0
 _log = get_logger(__name__)
 
 
+def _attach_probe_plane(
+    platform: Platform, spec: RunSpec
+) -> Optional[str]:
+    """Attach the live probe plane when anyone is listening.
+
+    Samplers are observers only (daemon ticks, pure reads), so runs
+    stay bit-identical attached or detached; but when neither a frame
+    publisher (``repro watch`` via serve) nor a flight recorder
+    (``REPRO_SLO``) is active, no sampler is built at all and the run
+    pays literally zero observation cost.
+
+    Returns the spec's content hash when a publisher is active (the
+    caller owes it a terminal ``end`` event), else ``None``.
+    """
+    publisher = get_publisher()
+    recorder = FlightRecorder.from_env()
+    if publisher is None and recorder is None:
+        return None
+    digest = spec.content_hash()
+    sampler = ProbeSampler(platform.sim, platform.probes)
+    if recorder is not None:
+        recorder.context.setdefault("spec", digest)
+        recorder.arm(sampler)
+    if publisher is not None:
+        publisher(
+            {
+                "event": "meta",
+                "run": digest,
+                "probes": sampler.map.describe(sampler.probes),
+            }
+        )
+        sampler.consumers.append(FrameRelay(publisher, digest))
+    sampler.attach()
+    return digest if publisher is not None else None
+
+
 def execute_spec(spec: RunSpec) -> RunSummary:
     """Run one spec to completion, in this process.
 
@@ -73,6 +112,7 @@ def execute_spec(spec: RunSpec) -> RunSummary:
         monitor = WindowedBandwidthMonitor(
             platform.port(spec.monitor_master), spec.monitor_bin_cycles
         )
+    published = _attach_probe_plane(platform, spec)
     elapsed = platform.run(
         spec.max_cycles,
         stop_when_critical_done=spec.stop_when_critical_done,
@@ -84,13 +124,18 @@ def execute_spec(spec: RunSpec) -> RunSummary:
         bins = (
             tuple(monitor.window_bytes(horizon)) if horizon else ()
         )
-    return RunSummary.from_result(
+    summary = RunSummary.from_result(
         result,
         monitor_bins=bins,
         monitor_bin_cycles=(
             spec.monitor_bin_cycles if monitor is not None else None
         ),
     )
+    if published is not None:
+        publisher = get_publisher()
+        if publisher is not None:
+            publisher({"event": "end", "run": published})
+    return summary
 
 
 def _timed_execute(spec: RunSpec) -> Tuple[RunSummary, float]:
@@ -260,9 +305,9 @@ class ParallelRunner:
     sweeps of many tiny specs.
 
     Args:
-        max_workers: Process count; ``None`` = auto (``REPRO_JOBS``
-            override, else affinity/cgroup-aware CPU count).  ``1``
-            forces in-process serial execution.
+        max_workers: Process count; ``None`` or ``"auto"`` = automatic
+            (``REPRO_JOBS`` override, else affinity/cgroup-aware CPU
+            count).  ``1`` forces in-process serial execution.
         cache: Optional on-disk result cache (see
             :meth:`ResultCache.from_env`); ``None`` disables caching.
         chunk_size: Specs per pool submission (default: 1, i.e.
@@ -277,12 +322,19 @@ class ParallelRunner:
 
     def __init__(
         self,
-        max_workers: Optional[int] = None,
+        max_workers: Union[int, str, None] = None,
         cache: Optional[ResultCache] = None,
         chunk_size: Optional[int] = None,
         single_flight: bool = True,
         claim_wait_seconds: float = DEFAULT_CLAIM_WAIT,
     ) -> None:
+        if isinstance(max_workers, str):
+            if max_workers.strip().lower() != "auto":
+                raise ConfigError(
+                    f"max_workers must be an integer >= 1, None, or "
+                    f"'auto', got {max_workers!r}"
+                )
+            max_workers = None
         if max_workers is not None and max_workers < 1:
             raise ConfigError(f"max_workers must be >= 1, got {max_workers}")
         if chunk_size is not None and chunk_size < 1:

@@ -23,15 +23,32 @@ Protocol (one JSON object per line, both directions)::
     <- {"id": 7, "index": 1, "summary": {...}}
     <- {"id": 7, "done": true, "count": 2}
 
-    -> {"op": "ping"}          <- {"pong": true, "protocol": 1}
+    -> {"op": "ping"}          <- {"pong": true, "protocol": 2}
     -> {"op": "stats"}         <- {"stats": {...}}
+    -> {"op": "probe_list"}    <- {"probes": [<metadata>...]}
+    -> {"op": "watch", "probes": [...], "max_frames": N}
+    <- {"id": ..., "watching": true, "protocol": 2}
+    <- {"id": ..., "event": "meta", "probes": [...]}
+    <- {"id": ..., "event": "frame", "time": 4096, "values": {...}}
+    <- {"id": ..., "done": true, "frames": N}
+
+The ``watch`` op subscribes the connection to live probe frames
+published by in-flight runs (see :mod:`repro.probes.publish`): the
+server installs itself as the process-global frame publisher, so any
+run executed *in this process* (``--jobs 1``; pool workers are
+separate processes) streams its sampled probe values to every
+subscriber.  A subscription ends when ``max_frames`` frames were
+delivered, when the observed run completes (its ``end`` event), or
+when the client disconnects.  Frame values can be filtered with glob
+``probes`` patterns.
 
 Errors are data, not disconnects: a malformed line or unknown op gets
 ``{"id": ..., "error": "..."}`` and the connection stays usable.
 
 :func:`request_runs` is the matching synchronous client used by tests
-and scripts; anything that can write JSON to a Unix socket can speak
-the protocol directly.
+and scripts; :func:`repro.probes.watch.iter_watch` is the watch-side
+client.  Anything that can write JSON to a Unix socket can speak the
+protocol directly.
 """
 
 from __future__ import annotations
@@ -43,9 +60,11 @@ import os
 import socket
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import asdict, dataclass
+from fnmatch import fnmatchcase
 from typing import Any, Dict, List, Optional
 
 from repro.errors import ReproError, ServeError
+from repro.probes.publish import clear_publisher, set_publisher
 from repro.runner.parallel import ParallelRunner
 from repro.runner.spec import RunSpec
 from repro.runner.summary import RunSummary
@@ -53,8 +72,9 @@ from repro.telemetry.log import get_logger
 
 _log = get_logger(__name__)
 
-#: Wire protocol version, reported by ``ping``.
-SERVE_PROTOCOL = 1
+#: Wire protocol version, reported by ``ping``.  Version 2 added the
+#: ``watch`` and ``probe_list`` ops (live probe streaming).
+SERVE_PROTOCOL = 2
 
 #: Default socket path (relative to the working directory).
 DEFAULT_SOCKET = ".repro_serve.sock"
@@ -71,6 +91,9 @@ class ServeStats:
             flight (no new simulation scheduled).
         batches: Runner batches dispatched.
         errors: Protocol-level errors answered.
+        watches: ``watch`` subscriptions accepted.
+        frames: Probe frames published by in-flight runs (before any
+            per-subscriber filtering).
     """
 
     requests: int = 0
@@ -78,6 +101,8 @@ class ServeStats:
     coalesced: int = 0
     batches: int = 0
     errors: int = 0
+    watches: int = 0
+    frames: int = 0
 
 
 class BatchServer:
@@ -111,13 +136,28 @@ class BatchServer:
         )
         self._server: Optional[asyncio.AbstractServer] = None
         self._drained: Optional["asyncio.Event"] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        # Live watch subscriptions: each gets every published probe
+        # event; None queued means "server closing, wrap up".
+        self._watchers: List["asyncio.Queue[Optional[Dict[str, Any]]]"] = []
+        # Probe metadata of the most recent published run, replayed to
+        # late subscribers and answered to the probe_list op.
+        self._last_probes: List[Dict[str, Any]] = []
 
     # ------------------------------------------------------------------
     # lifecycle
     # ------------------------------------------------------------------
     async def start(self) -> None:
-        """Bind the socket and start accepting connections."""
+        """Bind the socket and start accepting connections.
+
+        Also installs this server as the process-global probe-frame
+        publisher (see :mod:`repro.probes.publish`): in-process runs
+        attach a sampler and their frames fan out to ``watch``
+        subscribers.
+        """
         self._drained = asyncio.Event()
+        self._loop = asyncio.get_running_loop()
+        set_publisher(self._publish)
         try:
             os.unlink(self.socket_path)
         except OSError:
@@ -138,6 +178,11 @@ class BatchServer:
 
     async def close(self) -> None:
         """Stop accepting, drop the socket file, release the worker."""
+        clear_publisher()
+        # Wake every watcher so its connection handler finishes before
+        # (on 3.12+) wait_closed() starts waiting for handlers.
+        for queue in list(self._watchers):
+            queue.put_nowait(None)
         server = self._server
         self._server = None
         if server is not None:
@@ -202,6 +247,14 @@ class BatchServer:
                 writer, {"id": req_id, "stats": asdict(self.stats)}
             )
             return
+        if op == "probe_list":
+            await self._send(
+                writer, {"id": req_id, "probes": self._last_probes}
+            )
+            return
+        if op == "watch":
+            await self._handle_watch(request, writer)
+            return
         if op != "run":
             await self._error(writer, req_id, f"unknown op {op!r}")
             return
@@ -241,6 +294,136 @@ class BatchServer:
             and self._drained is not None
         ):
             self._drained.set()
+
+    # ------------------------------------------------------------------
+    # live probe streaming (protocol 2)
+    # ------------------------------------------------------------------
+    def _publish(self, event: Dict[str, Any]) -> None:
+        """Process-global publisher hook (called from the runner thread).
+
+        Crosses into the event loop thread-safely; events published
+        after the loop is gone are dropped (the run outlived the
+        server, nobody is left to watch).
+        """
+        loop = self._loop
+        if loop is None or loop.is_closed():
+            return
+        try:
+            loop.call_soon_threadsafe(self._dispatch_event, event)
+        except RuntimeError:  # loop shut down concurrently
+            pass
+
+    def _dispatch_event(self, event: Dict[str, Any]) -> None:
+        """Fan one published probe event out to every subscriber."""
+        kind = event.get("event")
+        if kind == "meta":
+            self._last_probes = list(event.get("probes", []))
+        elif kind == "frame":
+            self.stats.frames += 1
+        for queue in list(self._watchers):
+            queue.put_nowait(event)
+
+    @staticmethod
+    def _filter_frame(
+        event: Dict[str, Any], patterns: Optional[List[str]]
+    ) -> Optional[Dict[str, Any]]:
+        """Frame payload with values filtered to matching probe names.
+
+        Returns ``None`` when a filter is set and nothing matched
+        (the frame is not worth a wire line).
+        """
+        if not patterns:
+            return dict(event)
+        values = event.get("values", {})
+        matched = {
+            name: value
+            for name, value in values.items()
+            if any(fnmatchcase(name, pattern) for pattern in patterns)
+        }
+        if not matched:
+            return None
+        payload = dict(event)
+        payload["values"] = matched
+        return payload
+
+    async def _handle_watch(
+        self, request: Dict[str, Any], writer: asyncio.StreamWriter
+    ) -> None:
+        """Stream live probe frames to this connection.
+
+        The subscription ends when ``max_frames`` frames were
+        delivered, when the observed run completes (``end`` event), or
+        when the server closes; a final ``done`` line carries the
+        delivered-frame count.
+        """
+        req_id = request.get("id")
+        patterns = request.get("probes")
+        if patterns is not None and (
+            not isinstance(patterns, list)
+            or not all(isinstance(p, str) for p in patterns)
+        ):
+            await self._error(
+                writer, req_id, "probes must be a list of glob strings"
+            )
+            return
+        raw_max = request.get("max_frames")
+        max_frames: Optional[int] = None
+        if raw_max is not None:
+            if not isinstance(raw_max, int) or isinstance(raw_max, bool):
+                await self._error(
+                    writer, req_id, "max_frames must be an integer"
+                )
+                return
+            if raw_max < 1:
+                await self._error(
+                    writer, req_id, f"max_frames must be >= 1, got {raw_max}"
+                )
+                return
+            max_frames = raw_max
+        self.stats.watches += 1
+        queue: "asyncio.Queue[Optional[Dict[str, Any]]]" = asyncio.Queue()
+        self._watchers.append(queue)
+        delivered = 0
+        try:
+            await self._send(
+                writer,
+                {"id": req_id, "watching": True, "protocol": SERVE_PROTOCOL},
+            )
+            if self._last_probes:
+                await self._send(
+                    writer,
+                    {
+                        "id": req_id,
+                        "event": "meta",
+                        "probes": self._last_probes,
+                    },
+                )
+            while max_frames is None or delivered < max_frames:
+                event = await queue.get()
+                if event is None:
+                    break  # server closing
+                kind = event.get("event")
+                if kind == "frame":
+                    payload = self._filter_frame(event, patterns)
+                    if payload is None:
+                        continue
+                    payload["id"] = req_id
+                    await self._send(writer, payload)
+                    delivered += 1
+                elif kind == "meta":
+                    meta = dict(event)
+                    meta["id"] = req_id
+                    await self._send(writer, meta)
+                elif kind == "end":
+                    ended = dict(event)
+                    ended["id"] = req_id
+                    await self._send(writer, ended)
+                    break
+        finally:
+            self._watchers.remove(queue)
+        await self._send(
+            writer, {"id": req_id, "done": True, "frames": delivered}
+        )
 
     def _coalesce(
         self, specs: List[RunSpec]

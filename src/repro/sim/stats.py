@@ -182,6 +182,10 @@ class TimeSeries:
     def max_bin(self) -> Number:
         return max(self._bins) if self._bins else 0
 
+    def last_bin(self) -> Number:
+        """Value of the most recently touched bin (0 before any add)."""
+        return self._bins[-1] if self._bins else 0
+
     def total(self) -> Number:
         return sum(self._bins)
 

@@ -23,6 +23,7 @@ from repro.sim.trace import TraceRecorder
 from repro.axi.interconnect import Interconnect, InterconnectConfig
 from repro.axi.port import MasterPort, PortConfig
 from repro.dram.controller import DramConfig, DramController
+from repro.probes.map import ProbeMap, build_probe_map
 from repro.qos.manager import QosManager
 from repro.regulation.base import BandwidthRegulator
 from repro.regulation.factory import RegulatorSpec
@@ -141,6 +142,9 @@ class Platform:
             self._build_master(spec)
         if self.prem_controller is not None:
             self._wire_prem_protection()
+        #: The probe register file: every component's named live
+        #: reads (see :mod:`repro.probes.map`).
+        self.probes: ProbeMap = build_probe_map(self)
         _log.debug(
             "platform: %d masters, %d regulated, tracing %s",
             len(self.ports), len(self.regulators),

@@ -212,7 +212,12 @@ def export_platform_trace(
     if recorder is not None:
         sink.add_transactions(recorder)
     for name, port in getattr(platform, "ports", {}).items():
-        log = getattr(port, "throttle_log", None)
+        # Prefer the bounded-ring accessor; fall back to a plain
+        # throttle_log attribute for port-like stand-ins.
+        accessor = getattr(port, "throttle_intervals", None)
+        log = accessor() if callable(accessor) else getattr(
+            port, "throttle_log", None
+        )
         if log:
             sink.add_throttle_log(name, log)
     if path is not None:

@@ -1,0 +1,180 @@
+"""SLO rules and the QoS-violation flight recorder."""
+
+import json
+import os
+
+import pytest
+
+from repro.errors import ProbeError
+from repro.probes.flightrec import (
+    FLIGHTREC_ENV,
+    SLO_ENV,
+    FlightRecorder,
+)
+from repro.probes.sampler import ProbeSampler
+from repro.probes.slo import SloRule, parse_rules, rules_from_json
+from repro.soc.platform import Platform
+from repro.soc.presets import zcu102
+
+
+class TestSloRules:
+    def test_string_dsl(self):
+        rule = parse_rules(["port/acc0/last_latency<=500"])[0]
+        assert rule.probe == "port/acc0/last_latency"
+        assert rule.op == "<="
+        assert rule.limit == 500
+        assert rule.name == "port/acc0/last_latency<=500"
+
+    def test_dict_form_with_name(self):
+        rule = parse_rules(
+            [{"probe": "reg/a/tokens", "op": ">=", "limit": 1, "name": "floor"}]
+        )[0]
+        assert rule.name == "floor"
+        assert rule.op == ">="
+
+    def test_violated_semantics(self):
+        upper = SloRule(probe="p", op="<=", limit=10)
+        assert upper.violated(11)
+        assert not upper.violated(10)
+        lower = SloRule(probe="p", op=">=", limit=10)
+        assert lower.violated(9)
+        assert not lower.violated(10)
+
+    def test_bad_op_rejected(self):
+        with pytest.raises(ProbeError):
+            SloRule(probe="p", op="==", limit=1)
+        with pytest.raises(ProbeError):
+            parse_rules(["p!!5"])
+
+    def test_rules_json_must_be_a_list(self):
+        with pytest.raises(ProbeError):
+            rules_from_json('{"probe": "p"}')
+        assert len(rules_from_json('["a<=1", "b>=2"]')) == 2
+
+
+def _run_recorded(tmp_path, rules, period=512, max_dumps=1):
+    platform = Platform(zcu102(num_accels=2, cpu_work=300))
+    sampler = ProbeSampler(
+        platform.sim, platform.probes, period=period, capacity=32
+    )
+    recorder = FlightRecorder(
+        parse_rules(rules),
+        out_dir=str(tmp_path / "flightrec"),
+        max_dumps=max_dumps,
+        context={"experiment": "unit"},
+    )
+    recorder.arm(sampler)
+    sampler.attach()
+    platform.run(300_000)
+    return recorder, sampler
+
+
+class TestFlightRecorder:
+    def test_injected_violation_dumps_pre_violation_history(self, tmp_path):
+        # Total DRAM bytes exceed 1 byte immediately: guaranteed to
+        # trip on an early frame, with all earlier frames retained.
+        recorder, sampler = _run_recorded(
+            tmp_path, ["dram/bytes<=1"], period=256
+        )
+        assert len(recorder.violations) == 1
+        assert len(recorder.dump_dirs) == 1
+        dump = recorder.dump_dirs[0]
+        assert os.path.basename(dump) == "dump_000"
+
+        violation = json.load(open(os.path.join(dump, "violation.json")))
+        assert violation["violation"]["rule"]["probe"] == "dram/bytes"
+        assert violation["violation"]["value"] > 1
+        assert violation["context"]["experiment"] == "unit"
+        assert violation["sample_period"] == 256
+        assert any(
+            p["name"] == "dram/bytes" for p in violation["probes"]
+        )
+
+        history = json.load(open(os.path.join(dump, "history.json")))
+        assert history, "history must retain the violating frame"
+        assert history[-1]["time"] == recorder.violations[0].time
+        assert history[-1]["values"]["dram/bytes"] > 1
+
+        trace = json.load(open(os.path.join(dump, "trace.json")))
+        phases = {e["ph"] for e in trace["traceEvents"]}
+        assert phases == {"C", "i"}
+        marker = [e for e in trace["traceEvents"] if e["ph"] == "i"]
+        assert marker[0]["ts"] == recorder.violations[0].time
+
+    def test_no_violation_no_dump(self, tmp_path):
+        recorder, _ = _run_recorded(tmp_path, ["kernel/now>=0"])
+        assert recorder.violations == []
+        assert not os.path.exists(str(tmp_path / "flightrec"))
+
+    def test_max_dumps_bounds_dumping(self, tmp_path):
+        recorder, _ = _run_recorded(
+            tmp_path, ["dram/bytes<=1"], period=256, max_dumps=2
+        )
+        assert [os.path.basename(d) for d in recorder.dump_dirs] == [
+            "dump_000", "dump_001",
+        ]
+
+    def test_unknown_probe_rejected_at_arm(self, tmp_path):
+        platform = Platform(zcu102(num_accels=1, cpu_work=100))
+        sampler = ProbeSampler(platform.sim, platform.probes, period=256)
+        recorder = FlightRecorder(
+            parse_rules(["no/such/probe<=1"]), out_dir=str(tmp_path)
+        )
+        with pytest.raises(ProbeError):
+            recorder.arm(sampler)
+
+    def test_double_arm_rejected(self, tmp_path):
+        platform = Platform(zcu102(num_accels=1, cpu_work=100))
+        sampler = ProbeSampler(platform.sim, platform.probes, period=256)
+        recorder = FlightRecorder(
+            parse_rules(["kernel/now<=10"]), out_dir=str(tmp_path)
+        )
+        recorder.arm(sampler)
+        with pytest.raises(ProbeError):
+            recorder.arm(sampler)
+
+
+class TestFromEnv:
+    def test_unset_means_no_recorder(self, monkeypatch):
+        monkeypatch.delenv(SLO_ENV, raising=False)
+        assert FlightRecorder.from_env() is None
+
+    def test_inline_json(self, monkeypatch, tmp_path):
+        monkeypatch.setenv(SLO_ENV, '["dram/bytes<=1"]')
+        monkeypatch.setenv(FLIGHTREC_ENV, str(tmp_path / "out"))
+        recorder = FlightRecorder.from_env(context={"spec": "abc"})
+        assert recorder is not None
+        assert recorder.out_dir == str(tmp_path / "out")
+        assert recorder.rules[0].probe == "dram/bytes"
+        assert recorder.context == {"spec": "abc"}
+
+    def test_rules_file(self, monkeypatch, tmp_path):
+        rules_path = tmp_path / "slo.json"
+        rules_path.write_text('["port/acc0/bytes<=4096"]')
+        monkeypatch.setenv(SLO_ENV, str(rules_path))
+        recorder = FlightRecorder.from_env()
+        assert recorder.rules[0].limit == 4096
+
+    def test_missing_rules_file_rejected(self, monkeypatch, tmp_path):
+        monkeypatch.setenv(SLO_ENV, str(tmp_path / "nope.json"))
+        with pytest.raises(ProbeError):
+            FlightRecorder.from_env()
+
+    def test_execute_spec_end_to_end(self, monkeypatch, tmp_path):
+        """The env knobs alone arm a recorder inside execute_spec and
+        an injected violation lands a dump with history."""
+        from repro.runner import RunSpec, execute_spec
+
+        monkeypatch.setenv(SLO_ENV, '["dram/bytes<=1"]')
+        monkeypatch.setenv(FLIGHTREC_ENV, str(tmp_path / "rec"))
+        monkeypatch.setenv("REPRO_PROBE_PERIOD", "256")
+        spec = RunSpec(
+            config=zcu102(num_accels=2, cpu_work=300), max_cycles=200_000
+        )
+        execute_spec(spec)
+        dump = tmp_path / "rec" / "dump_000"
+        assert dump.is_dir()
+        violation = json.loads((dump / "violation.json").read_text())
+        assert violation["context"]["spec"] == spec.content_hash()
+        history = json.loads((dump / "history.json").read_text())
+        assert history

@@ -1,0 +1,111 @@
+"""The probe register file: naming, selection, and read purity."""
+
+import pytest
+
+from repro.errors import ProbeError
+from repro.probes.map import ProbeMap, build_probe_map
+from repro.regulation.factory import RegulatorSpec
+from repro.soc.platform import Platform
+from repro.soc.presets import zcu102
+
+
+@pytest.fixture
+def platform():
+    spec = RegulatorSpec(
+        kind="tightly_coupled", window_cycles=256, budget_bytes=512
+    )
+    return Platform(zcu102(num_accels=2, cpu_work=200, accel_regulator=spec))
+
+
+class TestRegistration:
+    def test_duplicate_name_rejected(self):
+        probes = ProbeMap()
+        probes.register("a/b", lambda: 0)
+        with pytest.raises(ProbeError):
+            probes.register("a/b", lambda: 1)
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ProbeError):
+            ProbeMap().register("", lambda: 0)
+
+    def test_addresses_are_registration_order(self):
+        probes = ProbeMap()
+        probes.register("x", lambda: 0)
+        probes.register("y", lambda: 1)
+        assert probes.get("x").addr == 0
+        assert probes.get("y").addr == 1
+        assert probes.by_addr(1).name == "y"
+        with pytest.raises(ProbeError):
+            probes.by_addr(2)
+
+
+class TestPlatformMap:
+    def test_platform_builds_probe_map(self, platform):
+        names = set(platform.probes.names())
+        assert "kernel/now" in names
+        assert "dram/queue_depth" in names
+        # One port channel per master, regulator channels only for the
+        # regulated hogs.
+        assert "port/cpu0/bytes" in names
+        assert "port/acc0/outstanding" in names
+        assert "reg/acc0/tokens" in names
+        assert "reg/acc1/budget_bytes" in names
+        assert "reg/cpu0/tokens" not in names
+
+    def test_metadata_carries_master_and_unit(self, platform):
+        probe = platform.probes.get("port/acc0/bytes")
+        assert probe.master == "acc0"
+        assert probe.unit == "bytes"
+        described = probe.describe()
+        assert described["name"] == "port/acc0/bytes"
+        assert described["addr"] == probe.addr
+
+    def test_select_globs(self, platform):
+        selected = platform.probes.select(["port/*/bytes"])
+        assert selected
+        assert all(p.name.endswith("/bytes") for p in selected)
+        assert {p.master for p in selected} == {"cpu0", "acc0", "acc1"}
+
+    def test_select_nothing_matching_rejected(self, platform):
+        with pytest.raises(ProbeError):
+            platform.probes.select(["no/such/probe"])
+
+    def test_select_none_is_everything(self, platform):
+        assert len(platform.probes.select(None)) == len(platform.probes)
+
+    def test_unknown_name_rejected(self, platform):
+        with pytest.raises(ProbeError):
+            platform.probes.get("port/ghost/bytes")
+        with pytest.raises(ProbeError):
+            platform.probes.read("port/ghost/bytes")
+
+    def test_snapshot_matches_reads(self, platform):
+        platform.run(20_000)
+        snap = platform.probes.snapshot()
+        assert snap["kernel/now"] == platform.sim.now
+        assert snap["port/acc0/bytes"] == (
+            platform.port("acc0").stats.counter("bytes").value
+        )
+
+
+class TestReadPurity:
+    def test_snapshot_is_idempotent(self, platform):
+        """Reading every probe twice with no cycles in between returns
+        identical values -- reads must not mutate observable state."""
+        platform.run(20_000)
+        assert platform.probes.snapshot() == platform.probes.snapshot()
+
+    def test_token_probe_does_not_advance_refill_state(self, platform):
+        """The tokens probe uses the pure peek (``peek_tokens``), not
+        ``tokens_at`` whose lazy refill bumps the telemetry-visible
+        ``refills`` counter."""
+        platform.run(20_000)
+        reg = platform.regulators["acc0"]
+        refills_before = reg._bucket.refills
+        for _ in range(5):
+            platform.probes.read("reg/acc0/tokens")
+        assert reg._bucket.refills == refills_before
+
+    def test_rebuild_probe_map_is_stable(self, platform):
+        rebuilt = build_probe_map(platform)
+        assert rebuilt.names() == platform.probes.names()

@@ -80,6 +80,54 @@ class TestCapacityGate:
         assert ctrl.reservations() == {}
 
 
+class TestReleaseLifecycle:
+    def test_release_then_readmit_same_master(self):
+        """A released master can come back: the full admit -> release
+        -> re-admit cycle leaves no residue."""
+        ctrl = capacity_controller()
+        first = ctrl.admit("camera", BandwidthBudget(6.0), ENV)
+        assert first.admitted
+        ctrl.release("camera")
+        assert ctrl.reserved_rate == 0.0
+        assert ctrl.available_rate == pytest.approx(8.0)
+        again = ctrl.admit("camera", BandwidthBudget(2.0), ENV)
+        assert again.admitted
+        assert ctrl.reserved_rate == pytest.approx(2.0)
+        reservations = ctrl.reservations()
+        assert set(reservations) == {"camera"}
+        assert reservations["camera"].rate.bytes_per_cycle == pytest.approx(2.0)
+
+    def test_double_release_rejected(self):
+        ctrl = capacity_controller()
+        ctrl.admit("camera", BandwidthBudget(1.0), ENV)
+        ctrl.release("camera")
+        with pytest.raises(ConfigError):
+            ctrl.release("camera")
+
+    def test_release_one_of_many_keeps_the_rest(self):
+        ctrl = capacity_controller()
+        ctrl.admit("camera", BandwidthBudget(3.0), ENV)
+        ctrl.admit("cnn", BandwidthBudget(4.0), ENV)
+        ctrl.release("camera")
+        assert set(ctrl.reservations()) == {"cnn"}
+        assert ctrl.available_rate == pytest.approx(4.0)
+
+    def test_release_restores_latency_headroom(self):
+        """After releasing a co-runner its envelope no longer counts
+        against the next admission's latency bound."""
+        ctrl = latency_controller(target=800)
+        light = CoRunnerEnvelope(max_outstanding=2, burst_beats=4)
+        assert ctrl.admit("a", BandwidthBudget(1.0), light).admitted
+        rejected = ctrl.check("b", BandwidthBudget(1.0), light)
+        ctrl.release("a")
+        after = ctrl.admit("b", BandwidthBudget(1.0), light)
+        assert after.admitted
+        assert (
+            after.projected_latency_bound
+            < rejected.projected_latency_bound
+        )
+
+
 class TestLatencyGate:
     def test_reject_when_bound_exceeds_target(self):
         # A single deep-queued co-runner already costs > 600 cycles.

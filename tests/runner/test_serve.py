@@ -8,6 +8,7 @@ would.
 
 import asyncio
 import json
+import os
 import socket
 import threading
 import time
@@ -99,12 +100,18 @@ class TestProtocol:
         assert reply == {"id": 3, "pong": True, "protocol": SERVE_PROTOCOL}
 
     def test_stats_op(self, served):
+        import dataclasses
+
+        from repro.runner.serve import ServeStats
+
         sock, server = served
         (reply,) = raw_request(sock, '{"op": "stats"}')
         assert reply["stats"]["requests"] == server.stats.requests
-        assert set(reply["stats"]) == {
-            "requests", "specs", "coalesced", "batches", "errors",
-        }
+        # The wire shape is exactly the ServeStats dataclass: adding a
+        # field there must surface here (and vice versa).
+        expected = {f.name for f in dataclasses.fields(ServeStats)}
+        assert set(reply["stats"]) == expected
+        assert {"watches", "frames"} <= expected
 
     def test_malformed_json_is_an_error_line(self, served):
         sock, server = served
@@ -186,6 +193,35 @@ class TestRunRequests:
         # (if the second request arrived late) a runner cache hit --
         # either way never a second execution.
         assert len(executions) == 1
+
+
+class TestLifecycle:
+    def test_max_requests_drains_answers_and_exits(self, tmp_path):
+        """``max_requests=1``: the one request is fully answered, then
+        ``run()`` returns and the socket file is gone."""
+        sock = str(tmp_path / "mr.sock")
+        runner = ParallelRunner(max_workers=1)
+        server = BatchServer(runner, socket_path=sock, max_requests=1)
+        exited = threading.Event()
+
+        def main():
+            asyncio.run(server.run())
+            exited.set()
+
+        thread = threading.Thread(target=main, daemon=True)
+        thread.start()
+        try:
+            deadline = time.time() + 10
+            while not os.path.exists(sock) and time.time() < deadline:
+                time.sleep(0.05)
+            summaries = request_runs(sock, [small_spec(seed=5)], timeout=120)
+            assert len(summaries) == 1
+            assert exited.wait(30), "server must exit after max_requests"
+            thread.join(timeout=10)
+            assert not os.path.exists(sock), "socket removed on close"
+            assert server.stats.requests == 1
+        finally:
+            runner.close()
 
 
 class TestCli:
