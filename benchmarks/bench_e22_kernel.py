@@ -26,8 +26,9 @@ reported ratios are same-run comparisons, not cross-machine folklore:
 * ``batch_dispatch`` -- the batched dispatch loop (``REPRO_BATCH``)
   against the per-event reference loop through ``Simulator.run`` on a
   self-rescheduling hold model at the stress population; the reported
-  rate is the batched loop's, with the per-event rate and the
-  batched/per-event same-run ratio in the extras;
+  rate is the batched loop's, with the per-event rate, the
+  batched/per-event same-run ratio, and the population-aware ``auto``
+  mode's rate and parity vs the better static mode in the extras;
 * ``platform``      -- a small end-to-end platform run (cycles/second),
   the figure that predicts benchmark-suite wall-clock.  At platform
   populations (a handful of pending events) the C-implemented heap is
@@ -43,7 +44,7 @@ import time
 
 from repro.sim.calendar import CalendarQueue
 from repro.sim.event import EventQueue
-from repro.sim.kernel import Simulator
+from repro.sim.kernel import AUTO_BATCH, Simulator
 from repro.soc.experiment import run_experiment
 from repro.soc.presets import zcu102
 
@@ -193,10 +194,13 @@ def _bench_batch_dispatch(queue_cls):
     name = next(n for n, cls in BACKENDS if cls is queue_cls)
     batched = dispatch_throughput(name, True, STRESS_POPULATION)
     per_event = dispatch_throughput(name, False, STRESS_POPULATION)
+    auto = dispatch_throughput(name, AUTO_BATCH, STRESS_POPULATION)
     return batched, {
         "population": STRESS_POPULATION,
         "per_event": per_event,
         "batched_vs_per_event": batched / per_event,
+        "auto": auto,
+        "auto_vs_best_static": auto / max(batched, per_event),
     }
 
 
@@ -266,6 +270,7 @@ def test_e22_kernel(benchmark):
             "population",
             "per_event",
             "batched_vs_per_event",
+            "auto_vs_best_static",
             "peak_resident",
             "sim_cycles",
         ],
@@ -279,9 +284,12 @@ def test_e22_kernel(benchmark):
     assert by_probe["scheduler_stress"]["calendar_vs_heap"] >= STRESS_MIN_RATIO
     # Batched dispatch may never be a net pessimization, and on the
     # calendar backend (chunked bulk drain) it must win outright.
+    # The population-aware auto mode promotes to batched at this
+    # population, so it must track the better static mode closely.
     for backend in ("heap", "calendar"):
         extra = by_probe["batch_dispatch"]["_extras"][backend]
         assert extra["batched_vs_per_event"] >= BATCH_MIN_RATIO[backend]
+        assert extra["auto_vs_best_static"] >= 0.85
     # Lazy-deletion compaction: with 90% of events cancelled, the queue
     # may never grow anywhere near the total number of scheduled
     # events -- shells are reclaimed once they hold the majority.

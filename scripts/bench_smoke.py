@@ -10,7 +10,7 @@ The timings are appended to ``BENCH_runner.json`` so successive PRs
 accumulate a performance trajectory for the experiment engine and the
 simulation kernel under it.
 
-Appended records carry ``schema: 6`` and a ``kind`` discriminator:
+Appended records carry ``schema: 7`` and a ``kind`` discriminator:
 
 * ``runner_sweep``      -- serial vs process-pool wall time (plus the
   scheduler label the sweep ran under and, for serial fallbacks, the
@@ -26,7 +26,18 @@ Appended records carry ``schema: 6`` and a ``kind`` discriminator:
   the same population;
 * ``batch_dispatch``    -- batched vs per-event dispatch
   (``REPRO_BATCH``) through ``Simulator.run`` at a tiny and at the
-  stress population, both backends, with same-run ratios;
+  stress population, both backends, with same-run ratios; since
+  schema 7 each row also carries the population-aware ``auto`` mode's
+  rate and its ratio vs the better static mode -- the parity proof
+  that auto pays neither the tiny-population batching tax nor the
+  stress-population per-event tax;
+* ``fastforward``       -- the steady-state macro-stepper
+  (``REPRO_FASTFORWARD``, new in schema 7): wall time of a
+  regulation-bound open-loop streaming scenario with the engine off
+  vs on under both scheduler backends (same-run speedup, gated at
+  ``FF_MIN_SPEEDUP``), byte-identity of the result tables across all
+  four runs, and the engine's paired overhead ratio on an irregular
+  scenario where it always declines (gated at ``FF_MAX_OVERHEAD``);
 * ``runner_telemetry``  -- the pool run's execution report
   (:class:`repro.telemetry.RunnerTelemetry`: per-spec seconds,
   worker utilization, cache accounting), nested under ``telemetry``;
@@ -53,9 +64,17 @@ Exit code 0 = all row sets identical AND the auto gate holds (auto's
 best-of wall time may not exceed the better static backend's by more
 than ``AUTO_GATE_SLACK``) AND the forced-parallel gate holds (under
 ``REPRO_JOBS=2`` the runner must actually use the pool and produce
-byte-identical rows).  Raw speedups remain reported, not asserted:
+byte-identical rows) AND the fast-forward gates hold (byte-identical
+tables, >= ``FF_MIN_SPEEDUP`` same-run speedup on the steady
+scenario, <= ``FF_MAX_OVERHEAD`` paired overhead where the engine
+declines).  Raw cross-mode speedups remain reported, not asserted:
 CI boxes with one core legitimately see ~1x, and tiny populations
 legitimately favour the C-implemented heap.
+
+A pre-existing ``--out`` file that cannot be parsed as a JSON list is
+quarantined (renamed to ``<out>.corrupt-N``) and a fresh history is
+started, so one corrupted write never silently discards the
+trajectory nor blocks future appends.
 """
 
 from __future__ import annotations
@@ -71,11 +90,15 @@ sys.path.insert(0, os.path.join(_HERE, "..", "src"))
 sys.path.insert(0, os.path.join(_HERE, ".."))
 
 from repro.runner import ParallelRunner, RunSpec, resolve_workers  # noqa: E402
-from repro.sim.kernel import SCHED_ENV, resolve_scheduler  # noqa: E402
+from repro.sim.kernel import (  # noqa: E402
+    FASTFORWARD_ENV,
+    SCHED_ENV,
+    resolve_scheduler,
+)
 from repro.soc.presets import zcu102  # noqa: E402
 
 #: Schema version stamped on every appended record.
-SCHEMA = 6
+SCHEMA = 7
 
 #: ABBA rounds for the probe-overhead record (the CI gate uses its
 #: own, stricter repeat count).
@@ -91,6 +114,27 @@ AUTO_REPEATS = 3
 #: The auto gate: auto's best-of wall time may exceed the better
 #: static backend's by at most this factor.
 AUTO_GATE_SLACK = 1.10
+
+#: Fast-forward gate: same-run wall-time speedup the macro-stepper
+#: must deliver on the steady regulation-bound scenario, per backend.
+#: (Measured headroom is ~4x; the floor guards the engine's whole
+#: point -- skipping regular regions analytically.)
+FF_MIN_SPEEDUP = 3.0
+
+#: Fast-forward gate: paired wall-time ratio (engine attached vs
+#: knob off) allowed on the irregular scenario where the detector
+#: declines every cycle -- probing must stay almost free.
+FF_MAX_OVERHEAD = 1.05
+
+#: ABBA sample pairs for the fast-forward overhead measurement.
+FF_OVERHEAD_REPEATS = 3
+
+#: Horizon of the steady fast-forward scenario (cycles): long enough
+#: that thousands of refill windows amortize attach/teardown costs.
+FF_STEADY_HORIZON = 600_000
+
+#: Horizon of the irregular (always-declining) scenario.
+FF_IRREGULAR_HORIZON = 120_000
 
 #: The fixed 8-point grid: 4 shares x 2 windows, small critical work
 #: so the whole smoke run stays in seconds.
@@ -184,8 +228,16 @@ def kernel_throughput():
 
 
 def batch_dispatch_rates():
-    """Batched vs per-event Simulator dispatch, both backends, at a
-    tiny and at the stress population (same-run ratios)."""
+    """Batched vs per-event vs population-aware ``auto`` Simulator
+    dispatch, both backends, at a tiny and at the stress population
+    (same-run ratios).
+
+    The ``auto`` columns are the parity proof for the adaptive mode:
+    at the tiny population it must track the per-event rate (schema-4
+    rows showed static batching costs 13-21% there), at the stress
+    population it must track the batched rate.
+    """
+    from repro.sim.kernel import AUTO_BATCH
     from benchmarks.bench_e22_kernel import (
         BACKENDS,
         BATCH_POPULATIONS,
@@ -200,6 +252,8 @@ def batch_dispatch_rates():
         for name, _ in BACKENDS:
             batched = dispatch_throughput(name, True, population, events)
             per_event = dispatch_throughput(name, False, population, events)
+            auto = dispatch_throughput(name, AUTO_BATCH, population, events)
+            best_static = max(batched, per_event)
             rows.append(
                 {
                     "population_label": label,
@@ -208,9 +262,167 @@ def batch_dispatch_rates():
                     "batched_events_s": round(batched),
                     "per_event_events_s": round(per_event),
                     "batched_vs_per_event": round(batched / per_event, 3),
+                    "auto_events_s": round(auto),
+                    "auto_vs_best_static": round(auto / best_static, 3),
                 }
             )
     return rows
+
+
+def _ff_steady_config():
+    """The steady-streaming regulation-bound scenario: one open-loop
+    Poisson stream under a tight tightly-coupled budget -- the shape
+    the macro-stepper advances analytically."""
+    from repro.regulation.factory import RegulatorSpec
+    from repro.soc.platform import MasterSpec, PlatformConfig
+
+    window = 4096
+    return PlatformConfig(
+        masters=(
+            MasterSpec(
+                name="olp0",
+                workload="open_loop_stream",
+                region_base=0x1000_0000,
+                region_extent=4 << 20,
+                regulator=RegulatorSpec(
+                    kind="tightly_coupled",
+                    window_cycles=window,
+                    budget_bytes=max(1, round(0.002 * PEAK * window)),
+                ),
+            ),
+        ),
+        seed=3,
+    )
+
+
+def _ff_irregular_config():
+    """An irregular scenario the detector must decline every cycle:
+    the open-loop stream is unregulated (never analytically blocked)
+    and a closed-loop CPU reader shares the fabric."""
+    from repro.soc.platform import MasterSpec, PlatformConfig
+
+    return PlatformConfig(
+        masters=(
+            MasterSpec(
+                name="cpu0",
+                workload="latency_probe",
+                region_base=0x2000_0000,
+                region_extent=4 << 20,
+            ),
+            MasterSpec(
+                name="olp0",
+                workload="open_loop_stream",
+                region_base=0x1000_0000,
+                region_extent=4 << 20,
+            ),
+        ),
+        seed=3,
+    )
+
+
+def _ff_run(config, scheduler, fastforward, horizon):
+    """One platform run -> ``(table, seconds, ff_regions)``."""
+    from repro.soc.experiment import PlatformResult
+    from repro.soc.platform import Platform
+
+    saved = {key: os.environ.get(key) for key in (SCHED_ENV, FASTFORWARD_ENV)}
+    os.environ[SCHED_ENV] = scheduler
+    os.environ[FASTFORWARD_ENV] = "1" if fastforward else "0"
+    try:
+        platform = Platform(config)
+        start = time.perf_counter()
+        elapsed = platform.run(horizon, stop_when_critical_done=False)
+        seconds = time.perf_counter() - start
+        table = PlatformResult(platform, elapsed).summary().to_json()
+        regions = platform.sim.kernel_stats().get("ff_regions", 0)
+    finally:
+        for key, value in saved.items():
+            if value is None:
+                os.environ.pop(key, None)
+            else:
+                os.environ[key] = value
+    return table, seconds, regions
+
+
+def fastforward_record():
+    """The macro-stepper's smoke measurement.
+
+    Returns the ``fastforward`` record dict (sans schema/timestamp):
+    per-backend off/on wall times and same-run speedups on the steady
+    scenario, byte-identity across all four runs, engagement counts,
+    and the median ABBA-paired overhead ratio on the irregular
+    scenario where the engine declines everything.
+    """
+    import statistics
+
+    steady = _ff_steady_config()
+    tables = {}
+    times = {}
+    regions_on = {}
+    for scheduler in ("heap", "calendar"):
+        for fastforward in (False, True):
+            table, seconds, regions = _ff_run(
+                steady, scheduler, fastforward, FF_STEADY_HORIZON
+            )
+            tables[(scheduler, fastforward)] = table
+            times[(scheduler, fastforward)] = seconds
+            if fastforward:
+                regions_on[scheduler] = regions
+    reference = tables[("heap", False)]
+    rows_identical = all(table == reference for table in tables.values())
+    speedups = {
+        scheduler: times[(scheduler, False)] / times[(scheduler, True)]
+        for scheduler in ("heap", "calendar")
+    }
+
+    # Paired overhead on the always-declining scenario: ABBA pairs
+    # (on, off, off, on) so monotone drift -- e.g. thermal settling
+    # after the heavy steady runs above -- hits both halves of each
+    # ratio equally and cancels.
+    irregular = _ff_irregular_config()
+    ratios = []
+    declined_regions = 0
+    _ff_run(irregular, "calendar", False, FF_IRREGULAR_HORIZON)  # warm-up
+    for _ in range(FF_OVERHEAD_REPEATS):
+        _, a_on, regions_a = _ff_run(
+            irregular, "calendar", True, FF_IRREGULAR_HORIZON
+        )
+        _, a_off, _ = _ff_run(
+            irregular, "calendar", False, FF_IRREGULAR_HORIZON
+        )
+        _, b_off, _ = _ff_run(
+            irregular, "calendar", False, FF_IRREGULAR_HORIZON
+        )
+        _, b_on, regions_b = _ff_run(
+            irregular, "calendar", True, FF_IRREGULAR_HORIZON
+        )
+        declined_regions += regions_a + regions_b
+        ratios.append((a_on + b_on) / (a_off + b_off))
+    overhead = statistics.median(ratios)
+
+    return {
+        "kind": "fastforward",
+        "steady_horizon": FF_STEADY_HORIZON,
+        "heap_off_s": round(times[("heap", False)], 3),
+        "heap_on_s": round(times[("heap", True)], 3),
+        "calendar_off_s": round(times[("calendar", False)], 3),
+        "calendar_on_s": round(times[("calendar", True)], 3),
+        "heap_speedup": round(speedups["heap"], 3),
+        "calendar_speedup": round(speedups["calendar"], 3),
+        "regions": regions_on,
+        "rows_identical": rows_identical,
+        "min_speedup": FF_MIN_SPEEDUP,
+        "irregular_horizon": FF_IRREGULAR_HORIZON,
+        "irregular_overhead": round(overhead, 3),
+        "irregular_regions": declined_regions,
+        "max_overhead": FF_MAX_OVERHEAD,
+        "gate_ok": (
+            rows_identical
+            and min(speedups.values()) >= FF_MIN_SPEEDUP
+            and overhead <= FF_MAX_OVERHEAD
+            and declined_regions == 0
+        ),
+    }
 
 
 def auto_sweep_gate():
@@ -233,6 +445,43 @@ def auto_sweep_gate():
 
 def _timestamp():
     return time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime())
+
+
+def load_history(out):
+    """Read the existing timing log, quarantining it when unreadable.
+
+    Returns ``(history, quarantined)``: the parsed record list (empty
+    when absent or quarantined) and the path the corrupt file was
+    moved to (``None`` normally).  A file that exists but is not a
+    JSON list -- a truncated write, a stray object, binary junk -- is
+    renamed to the first free ``<out>.corrupt-N`` so the evidence
+    survives while the trajectory restarts cleanly; silently
+    overwriting it would destroy the very record someone needs to
+    diagnose the corruption.
+    """
+    if not os.path.exists(out):
+        return [], None
+    try:
+        with open(out) as fh:
+            history = json.load(fh)
+        if not isinstance(history, list):
+            raise ValueError("top-level JSON is not a list")
+        return history, None
+    except (OSError, ValueError):
+        quarantined = None
+        for index in range(1, 1000):
+            candidate = f"{out}.corrupt-{index}"
+            if not os.path.exists(candidate):
+                quarantined = candidate
+                break
+        if quarantined is not None:
+            try:
+                os.replace(out, quarantined)
+            except OSError:
+                # Even the rename failed (permissions, races): start
+                # fresh anyway; the append below overwrites in place.
+                quarantined = None
+        return [], quarantined
 
 
 def main(argv=None) -> int:
@@ -358,6 +607,10 @@ def main(argv=None) -> int:
         }
     )
 
+    ff = fastforward_record()
+    ff_record = {"schema": SCHEMA, **ff, "timestamp": _timestamp()}
+    records.append(ff_record)
+
     from repro.telemetry import RunnerTelemetry
 
     telemetry = RunnerTelemetry.from_runner(parallel_runner).to_dict()
@@ -424,15 +677,13 @@ def main(argv=None) -> int:
     )
 
     out = os.path.abspath(args.out)
-    history = []
-    if os.path.exists(out):
-        try:
-            with open(out) as fh:
-                history = json.load(fh)
-            if not isinstance(history, list):
-                history = []
-        except (OSError, ValueError):
-            history = []
+    history, quarantined = load_history(out)
+    if quarantined is not None:
+        print(
+            f"bench_smoke: existing {out} was not a readable JSON list; "
+            f"quarantined to {quarantined}, starting a fresh history",
+            file=sys.stderr,
+        )
     history.extend(records)
     with open(out, "w") as fh:
         json.dump(history, fh, indent=2)
@@ -466,8 +717,20 @@ def main(argv=None) -> int:
             f"bench_smoke: batch dispatch [{row['population_label']}/"
             f"{row['backend']}] batched {row['batched_events_s']} ev/s vs "
             f"per-event {row['per_event_events_s']} ev/s "
-            f"(x{row['batched_vs_per_event']})"
+            f"(x{row['batched_vs_per_event']}); auto {row['auto_events_s']} "
+            f"ev/s (x{row['auto_vs_best_static']} of best static)"
         )
+    print(
+        f"bench_smoke: fastforward steady heap {ff['heap_off_s']}s -> "
+        f"{ff['heap_on_s']}s (x{ff['heap_speedup']}), calendar "
+        f"{ff['calendar_off_s']}s -> {ff['calendar_on_s']}s "
+        f"(x{ff['calendar_speedup']}); rows_identical={ff['rows_identical']}"
+    )
+    print(
+        f"bench_smoke: fastforward irregular paired overhead "
+        f"x{ff['irregular_overhead']} "
+        f"({ff['irregular_regions']} regions engaged while declining)"
+    )
     print(
         f"bench_smoke: pool utilization "
         f"{telemetry['utilization']:.0%} over {telemetry['workers']} workers "
@@ -503,6 +766,23 @@ def main(argv=None) -> int:
             f"{AUTO_GATE_SLACK:.0%}",
             file=sys.stderr,
         )
+        return 1
+    if not ff["gate_ok"]:
+        if not ff["rows_identical"]:
+            reason = "produced non-identical result tables"
+        elif ff["irregular_regions"]:
+            reason = "engaged on the irregular scenario it must decline"
+        elif ff["irregular_overhead"] > FF_MAX_OVERHEAD:
+            reason = (
+                f"costs x{ff['irregular_overhead']} while declining "
+                f"(max x{FF_MAX_OVERHEAD})"
+            )
+        else:
+            reason = (
+                f"delivered only x{min(ff['heap_speedup'], ff['calendar_speedup'])} "
+                f"on the steady scenario (floor x{FF_MIN_SPEEDUP})"
+            )
+        print(f"FAIL: fast-forward engine {reason}", file=sys.stderr)
         return 1
     return 0
 

@@ -106,6 +106,12 @@ class MasterPort:
         self._outstanding = 0
         self._interconnect = None  # set by Interconnect.attach_port
         self._retry_scheduled_at: Optional[int] = None
+        #: Retry kick events currently in the queue (scheduled, not
+        #: yet fired).  The fast-forward detector sums this over every
+        #: port to account for the full foreground-event population;
+        #: unlike ``_retry_scheduled_at`` it never resets early, so a
+        #: stale retry on an already-drained port is still counted.
+        self._retry_events_live = 0
         #: Called with the completed transaction (set by the master).
         self.on_response: Optional[Callable[[Transaction], None]] = None
         #: Observers of data-beat traffic: ``fn(nbytes, now)``.
@@ -386,8 +392,10 @@ class MasterPort:
         ):
             return
         self._retry_scheduled_at = at_cycle
+        self._retry_events_live += 1
 
         def retry() -> None:
+            self._retry_events_live -= 1
             self._retry_scheduled_at = None
             if self.queue_depth:
                 self._interconnect.kick()

@@ -34,7 +34,8 @@ All of them produce bit-identical dispatch traces, so results never
 depend on the knob; it exists for performance work and differential
 testing.
 
-Dispatch itself is **batched** (``REPRO_BATCH``, on by default): each
+Dispatch itself is **batched** (``REPRO_BATCH``; the default is
+population-aware, see below): each
 iteration of :meth:`Simulator.run` drains an entire cycle's events
 into a preallocated buffer with one ``pop_cycle_batch`` queue call,
 invokes the callbacks from a tight local loop, and returns the shells
@@ -48,6 +49,27 @@ as ``REPRO_BATCH=off``, and differentially tested).  Between cycles
 the clock jumps straight to the next scheduled event -- idle cycles
 are skipped analytically, never scanned -- and the skipped-cycle count
 is reported through :meth:`kernel_stats`.
+
+Like the scheduler, the dispatch mode defaults to ``auto``: batching
+amortizes queue round-trips at large event populations but measures
+as a 13-21% *loss* on tiny (tens-of-events) populations, so an
+``auto`` run starts on the per-event loop and hands over to the
+batched loop the first time live-foreground occupancy crosses
+:data:`AUTO_PROMOTE_THRESHOLD` -- the same population signal, read
+the same zero-cost way, as scheduler promotion.  Both modes are
+bit-identical by contract, so the switch can never change a result.
+
+One optional layer sits above dispatch: the steady-state
+**fast-forward engine** (``REPRO_FASTFORWARD``, off by default; see
+:mod:`repro.sim.fastforward`).  When attached, the dispatch loops
+offer it every peeked cycle; if the entire pending population is a
+set of regulator-blocked open-loop streams it advances the clock to
+the next analytic boundary (token refill, window-bin edge, daemon
+tick, retry kick, ``until``) in one macro-step, emitting the skipped
+arrivals analytically.  Results are byte-identical to event-accurate
+dispatch; only kernel telemetry (events dispatched, idle cycles)
+differs, and the engine's own counters are surfaced through
+:meth:`kernel_stats`.
 """
 
 from __future__ import annotations
@@ -63,8 +85,13 @@ from repro.sim.event import Event, EventQueue
 #: Environment variable selecting the scheduler backend.
 SCHED_ENV = "REPRO_SCHED"
 
-#: Environment variable selecting the dispatch mode (batch | event).
+#: Environment variable selecting the dispatch mode
+#: (batch | event | auto).
 BATCH_ENV = "REPRO_BATCH"
+
+#: Environment variable enabling the steady-state fast-forward engine
+#: (see :mod:`repro.sim.fastforward`; off unless set to an on-value).
+FASTFORWARD_ENV = "REPRO_FASTFORWARD"
 
 #: Backend registry: name -> queue factory (concrete backends only;
 #: ``auto`` is a kernel-level mode over these, not a third queue).
@@ -75,6 +102,10 @@ SCHEDULERS = {
 
 #: The adaptive mode name accepted alongside the concrete backends.
 AUTO_SCHED = "auto"
+
+#: The adaptive dispatch-mode name accepted by ``REPRO_BATCH`` /
+#: ``batch=`` (population-aware batching; also the default).
+AUTO_BATCH = "auto"
 
 #: Live-foreground occupancy at which an ``auto`` run is promoted from
 #: the heap to the calendar queue.  Measured on the hold-model probe
@@ -128,17 +159,42 @@ def resolve_scheduler(name: Optional[str] = None) -> str:
     return name
 
 
-def resolve_batch(batch: Optional[bool] = None) -> bool:
-    """Resolve the dispatch mode (argument > ``REPRO_BATCH`` > batched).
+def resolve_batch(batch: Optional[object] = None) -> object:
+    """Resolve the dispatch mode (argument > ``REPRO_BATCH`` > auto).
 
-    Batched and per-event dispatch are bit-identical by contract (the
-    differential suite enforces it); the knob exists for performance
-    comparison and as the oracle mode for those tests.
+    Returns ``True`` (always batched), ``False`` (always per-event)
+    or :data:`AUTO_BATCH` (start per-event, promote to batched when
+    live-foreground occupancy crosses
+    :data:`AUTO_PROMOTE_THRESHOLD`).  Batched and per-event dispatch
+    are bit-identical by contract (the differential suite enforces
+    it), so the promotion can never change a result; the explicit
+    modes exist for performance comparison and as the oracle mode for
+    those tests.
     """
     if batch is not None:
+        if batch == AUTO_BATCH:
+            return AUTO_BATCH
         return bool(batch)
     value = os.environ.get(BATCH_ENV, "").strip().lower()  # repro: allow[DET003]
+    if not value or value == AUTO_BATCH:
+        return AUTO_BATCH
     return value not in ("0", "off", "no", "false", "event", "per-event")
+
+
+def resolve_fastforward(enabled: Optional[bool] = None) -> bool:
+    """Resolve the fast-forward knob (argument > env > off).
+
+    Off by default: the engine only pays off on regulation-bound
+    steady streaming, and keeping the event-accurate path the default
+    keeps every existing workflow's telemetry (event counts, idle
+    cycles) unchanged.  Results are byte-identical either way.
+    """
+    if enabled is not None:
+        return bool(enabled)
+    # The REPRO_FASTFORWARD knob's resolution point; on/off runs are
+    # byte-identical by contract.  # repro: allow[DET003]
+    value = os.environ.get(FASTFORWARD_ENV, "").strip().lower()
+    return value in ("1", "on", "yes", "true")
 
 
 class Phase:
@@ -181,9 +237,11 @@ class Simulator:
         scheduler: Event-queue backend name (``"calendar"``, ``"heap"``
             or ``"auto"``); ``None`` defers to ``REPRO_SCHED`` and the
             default.  Dispatch order is identical across backends.
-        batch: Dispatch mode; ``None`` defers to ``REPRO_BATCH`` and
-            the batched default, ``False`` forces the per-event
-            reference loop.  Dispatch order is identical across modes.
+        batch: Dispatch mode (``True``, ``False`` or ``"auto"``);
+            ``None`` defers to ``REPRO_BATCH`` and the ``auto``
+            default (per-event until the live-event population earns
+            batching), ``False`` forces the per-event reference loop.
+            Dispatch order is identical across modes.
 
     Example:
         >>> sim = Simulator()
@@ -195,7 +253,7 @@ class Simulator:
     """
 
     def __init__(
-        self, scheduler: Optional[str] = None, batch: Optional[bool] = None
+        self, scheduler: Optional[str] = None, batch: Optional[object] = None
     ) -> None:
         self.scheduler = resolve_scheduler(scheduler)
         if self.scheduler == AUTO_SCHED:
@@ -212,7 +270,21 @@ class Simulator:
             # invariant assertions of repro.checks.sanitize.  Dispatch
             # order (and therefore every result) is unchanged.
             self._queue = SanitizingQueue(self._queue)
-        self.batched = resolve_batch(batch)
+        mode = resolve_batch(batch)
+        #: Resolved dispatch policy: ``"batch"``, ``"event"`` or
+        #: ``"auto"`` (kernel_stats' ``dispatch_mode`` keeps naming
+        #: the loop currently in charge).
+        self.batch_mode = (
+            AUTO_BATCH if mode == AUTO_BATCH else ("batch" if mode else "event")
+        )
+        self._batch_auto_pending = mode == AUTO_BATCH
+        self._batch_promote = False
+        #: Times an ``auto`` run switched per-event -> batched (0 or 1).
+        self.batch_promotions = 0
+        self.batched = mode is True
+        #: Attached :class:`repro.sim.fastforward.FastForwardEngine`
+        #: (None = pure event-accurate dispatch).
+        self._ff: Optional[Any] = None
         self._now = 0
         self._running = False
         self._finished = False
@@ -309,6 +381,16 @@ class Simulator:
         """Register ``fn(now)`` to be invoked when a run completes."""
         self._finalizers.append(fn)
 
+    def attach_fastforward(self, engine: Any) -> None:
+        """Attach a steady-state fast-forward engine.
+
+        The dispatch loops offer the engine every peeked cycle (one
+        ``attempt`` call; its pure pre-checks fail fast, so irregular
+        workloads pay a few attribute reads).  See
+        :mod:`repro.sim.fastforward` for the exactness argument.
+        """
+        self._ff = engine
+
     # ------------------------------------------------------------------
     # execution
     # ------------------------------------------------------------------
@@ -327,9 +409,21 @@ class Simulator:
         if self._running:
             raise SimulationError("run() re-entered from within an event callback")
         if self._profiler is not None:
+            if self._batch_auto_pending:
+                # Profiled runs resolve "auto" to batched upfront: the
+                # profiler already perturbs per-event cost, and modes
+                # are bit-identical by contract.
+                self._batch_auto_pending = False
+                self.batched = True
             return self._run_profiled(until)
         if not self.batched:
-            return self._run_per_event(until)
+            result = self._run_per_event(until)
+            if self._batch_promote:
+                # The per-event loop crossed the population threshold
+                # mid-run ("auto" mode); finish on the batched loop.
+                self._batch_promote = False
+                return self.run(until)
+            return result
         self._running = True
         self._stop_requested = False
         queue = self._queue
@@ -344,6 +438,7 @@ class Simulator:
         recycle = queue.recycle
         batch = self._batch
         sink = self._batch_sink
+        ff = self._ff
         dispatched = 0
         idle_skipped = 0
         try:
@@ -372,6 +467,15 @@ class Simulator:
                 if until is not None and next_time > until:
                     self._now = until
                     break
+                if ff is not None:
+                    # Steady-state macro-step: when the whole pending
+                    # population is analytically advanceable, the
+                    # engine moves the clock to the next boundary and
+                    # returns the idle cycles the jump covered.
+                    skipped = ff.attempt(next_time, until)
+                    if skipped is not None:
+                        idle_skipped += skipped
+                        continue
                 if next_time - self._now > 1:
                     # Analytic idle skip: the clock jumps the gap; no
                     # empty cycle is ever visited.
@@ -491,10 +595,22 @@ class Simulator:
         pop = queue.pop
         pop_if_at = queue.pop_if_at
         recycle = queue.recycle
+        ff = self._ff
         dispatched = 0
         try:
             while True:
                 if self._stop_requested:
+                    break
+                if self._batch_auto_pending and (
+                    queue.live_foreground >= AUTO_PROMOTE_THRESHOLD
+                ):
+                    # "auto" dispatch mode: the population just earned
+                    # batching; hand the rest of the run to the
+                    # batched loop (run() re-enters it).
+                    self._batch_auto_pending = False
+                    self.batched = True
+                    self.batch_promotions += 1
+                    self._batch_promote = True
                     break
                 if (
                     self._auto_pending
@@ -516,6 +632,10 @@ class Simulator:
                 if until is not None and next_time > until:
                     self._now = until
                     break
+                if ff is not None and ff.attempt(next_time, until) is not None:
+                    # Macro-stepped; the per-event reference loop does
+                    # not account idle cycles, so the count is dropped.
+                    continue
                 event = pop()
                 self._now = event.time
                 event.callback()
@@ -535,6 +655,10 @@ class Simulator:
         finally:
             self._running = False
             self.events_dispatched += dispatched
+        if self._batch_promote:
+            # Mid-run handoff to the batched loop: finalizers and the
+            # finished flag belong to the real end of the run.
+            return self._now
         for fn in self._finalizers:
             fn(self._now)
         self._finished = True
@@ -566,6 +690,7 @@ class Simulator:
         recycle = queue.recycle
         batch = self._batch
         sink = self._batch_sink
+        ff = self._ff
         dispatched = 0
         idle_skipped = 0
         wall_start = clock()
@@ -593,6 +718,11 @@ class Simulator:
                 if until is not None and next_time > until:
                     self._now = until
                     break
+                if ff is not None:
+                    skipped = ff.attempt(next_time, until)
+                    if skipped is not None:
+                        idle_skipped += skipped
+                        continue
                 if next_time - self._now > 1:
                     idle_skipped += next_time - self._now - 1
                 self._now = next_time
@@ -677,6 +807,7 @@ class Simulator:
         pop = queue.pop
         pop_if_at = queue.pop_if_at
         recycle = queue.recycle
+        ff = self._ff
         dispatched = 0
         wall_start = clock()
         try:
@@ -701,6 +832,8 @@ class Simulator:
                 if until is not None and next_time > until:
                     self._now = until
                     break
+                if ff is not None and ff.attempt(next_time, until) is not None:
+                    continue
                 event = pop()
                 self._now = event.time
                 callback = event.callback
@@ -766,15 +899,28 @@ class Simulator:
         ``"auto"`` while ``backend`` (and the queue's own ``backend``
         field) names the concrete queue currently in charge;
         ``auto_promotions`` records whether the promotion happened.
+        ``batch_policy`` / ``batch_promotions`` are the dispatch-mode
+        analogues (``dispatch_mode`` names the loop currently in
+        charge).  With a fast-forward engine attached, ``ff_regions``,
+        ``ff_cycles_skipped`` and ``ff_arrivals`` report its activity
+        (macro-stepped regions, cycles covered, arrivals emitted
+        analytically).
         """
         stats: Dict[str, Any] = {
             "scheduler": self.scheduler,
             "dispatch_mode": "batch" if self.batched else "event",
+            "batch_policy": self.batch_mode,
             "now": self._now,
             "events_dispatched": self.events_dispatched,
             "idle_cycles_skipped": self.idle_cycles_skipped,
             "auto_promotions": self.auto_promotions,
+            "batch_promotions": self.batch_promotions,
         }
+        ff = self._ff
+        if ff is not None:
+            stats["ff_regions"] = ff.regions
+            stats["ff_cycles_skipped"] = ff.cycles_skipped
+            stats["ff_arrivals"] = ff.arrivals_emitted
         stats.update(self._queue.stats())
         return stats
 

@@ -23,6 +23,7 @@ from repro.sim.kernel import Simulator
 from repro.sim.rng import component_rng
 from repro.axi.port import MasterPort
 from repro.traffic.accelerator import AcceleratorConfig, StreamAccelerator
+from repro.traffic.arrivals import OpenLoopConfig, OpenLoopMaster
 from repro.traffic.cpu import CpuConfig, CpuCore
 from repro.traffic.master import Master
 from repro.traffic.patterns import RandomPattern, SequentialPattern, StridedPattern
@@ -103,6 +104,28 @@ def _fft_stride(sim, port, base, extent, seed, work) -> Master:
     return StreamAccelerator(sim, port, cfg)
 
 
+def _open_loop_stream(sim, port, base, extent, seed, work) -> Master:
+    # Interrupt-driven sensor/telemetry DMA: short bursts arrive on an
+    # external Poisson clock whatever the congestion (open loop), so
+    # under regulation they pile up in the port queue instead of
+    # self-throttling.  The fast offered rate makes this the
+    # regulation-bound steady-streaming shape the fast-forward engine
+    # targets (and the bench_smoke scenario that measures it).
+    pattern = SequentialPattern(base, extent, 64)
+    requests = None if work is None else max(1, work // 64)
+    cfg = OpenLoopConfig(
+        pattern=pattern,
+        arrival="poisson",
+        mean_gap_cycles=2.0,
+        burst_len=4,
+        bytes_per_beat=16,
+        write_ratio=0.0,
+        num_requests=requests,
+        rng=component_rng(seed, port.name),
+    )
+    return OpenLoopMaster(sim, port, cfg)
+
+
 def _pointer_chase(sim, port, base, extent, seed, work) -> Master:
     # Linked-list traversal on a core: one dependent miss at a time.
     pattern = RandomPattern(base, extent, 64, component_rng(seed, port.name))
@@ -176,6 +199,11 @@ WORKLOADS: Dict[str, WorkloadSpec] = {
             "matmul_stream", "accel", "tiled matmul with 50% DMA duty", _matmul_stream
         ),
         WorkloadSpec("fft_stride", "accel", "strided FFT-like traffic", _fft_stride),
+        WorkloadSpec(
+            "open_loop_stream", "accel",
+            "interrupt-driven open-loop burst stream (Poisson arrivals)",
+            _open_loop_stream,
+        ),
         WorkloadSpec(
             "pointer_chase", "cpu", "dependent-load linked-list walk", _pointer_chase
         ),

@@ -91,6 +91,110 @@ class TestNextAvailable:
         assert probe.tokens_at(max(0, at - 10)) < 40
 
 
+class TestNextAvailableEdges:
+    """Edge cases around debt, degenerate refills and saturation."""
+
+    def test_zero_amount_is_immediate(self):
+        tb = TokenBucket(100, 10, 50, initial=0)
+        assert tb.next_available(0, 33) == 33
+
+    def test_deep_debt_multi_period(self):
+        # Debt of 95 + request of 10: 105 tokens of refill = 11 periods.
+        tb = TokenBucket(100, 10, 50, initial=5)
+        tb.force_consume(100, 0, allow_debt=True)
+        assert tb.tokens_at(0) == -95
+        assert tb.next_available(10, 0) == 11 * 50
+
+    def test_debt_prediction_is_exact(self):
+        tb = TokenBucket(64, 16, 10, initial=0)
+        tb.force_consume(40, 0, allow_debt=True)
+        at = tb.next_available(24, 0)
+        probe = TokenBucket(64, 16, 10, initial=0)
+        probe.force_consume(40, 0, allow_debt=True)
+        assert probe.tokens_at(at) >= 24
+        probe2 = TokenBucket(64, 16, 10, initial=0)
+        probe2.force_consume(40, 0, allow_debt=True)
+        assert probe2.tokens_at(at - 10) < 24
+
+    def test_zero_refill_satisfiable_from_balance(self):
+        # refill_amount == 0 only raises when a wait would be needed.
+        tb = TokenBucket(100, 0, 50, initial=30)
+        assert tb.next_available(30, 5) == 5
+        with pytest.raises(RegulationError):
+            tb.next_available(31, 5)
+
+    def test_debt_with_zero_refill_rejected(self):
+        tb = TokenBucket(100, 0, 50, initial=10)
+        tb.force_consume(10, 0, allow_debt=True)
+        with pytest.raises(RegulationError):
+            tb.next_available(1, 0)
+
+    def test_refill_smaller_than_amount_needs_ceil_periods(self):
+        # Fractional periods don't exist: 7 tokens at 3/period -> 3
+        # periods, not 2.33.
+        tb = TokenBucket(100, 3, 20, initial=0)
+        assert tb.next_available(7, 0) == 60
+
+    def test_saturated_bucket_is_always_immediate(self):
+        tb = TokenBucket(100, 10, 50)
+        # Long idle: balance saturates at capacity, never beyond --
+        # a full-capacity request is still immediately grantable.
+        assert tb.tokens_at(10_000) == 100
+        assert tb.next_available(100, 10_000) == 10_000
+
+    def test_midperiod_now_rounds_to_boundary(self):
+        # Asking mid-period must land on the *next* whole boundary
+        # relative to the bucket's refill anchor, not now + period.
+        tb = TokenBucket(100, 10, 50, initial=0)
+        assert tb.next_available(10, 37) == 50
+
+    def test_oversized_request_rejected_even_when_in_debt(self):
+        tb = TokenBucket(100, 10, 50, initial=0)
+        tb.force_consume(50, 0, allow_debt=True)
+        with pytest.raises(RegulationError):
+            tb.next_available(101, 0)
+
+
+class TestHorizon:
+    """The pure boundary probe the fast-forward engine leans on."""
+
+    def test_first_boundary_strictly_after_now(self):
+        tb = TokenBucket(100, 10, 50)
+        assert tb.horizon(0) == 50
+        assert tb.horizon(49) == 50
+        assert tb.horizon(50) == 100
+
+    def test_pure_no_state_advance(self):
+        tb = TokenBucket(100, 40, 50)
+        tb.try_consume(100, 0)
+        tb.horizon(499)
+        # A mutating read at an earlier cycle still succeeds: horizon
+        # must not have advanced the bucket clock.
+        assert tb.tokens_at(50) == 40
+
+    def test_tracks_refill_anchor_after_advance(self):
+        tb = TokenBucket(100, 10, 50, initial=0)
+        tb.tokens_at(120)  # anchor moves to 100
+        assert tb.horizon(120) == 150
+        assert tb.horizon(150) == 200
+
+    @given(
+        period=st.integers(1, 500),
+        advance=st.integers(0, 5_000),
+        probe=st.integers(0, 5_000),
+    )
+    @settings(max_examples=150, deadline=None)
+    def test_horizon_property(self, period, advance, probe):
+        tb = TokenBucket(100, 10, period)
+        tb.tokens_at(advance)
+        now = advance + probe
+        at = tb.horizon(now)
+        assert at > now
+        assert at - now <= period
+        # Boundary alignment relative to the anchor.
+        assert (at - tb._last_refill) % period == 0
+
+
 class TestReconfigure:
     def test_shrink_clamps_tokens(self):
         tb = TokenBucket(100, 10, 50)

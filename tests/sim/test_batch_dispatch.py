@@ -22,7 +22,14 @@ from hypothesis import strategies as st
 import repro.sim.kernel as kernel_mod
 from repro.sim.calendar import _BUCKETS, CalendarQueue
 from repro.sim.event import EventQueue
-from repro.sim.kernel import AUTO_PROMOTE_THRESHOLD, BATCH_CHUNK, Phase, Simulator
+from repro.sim.kernel import (
+    AUTO_BATCH,
+    AUTO_PROMOTE_THRESHOLD,
+    BATCH_CHUNK,
+    Phase,
+    Simulator,
+    resolve_batch,
+)
 
 BACKENDS = ("heap", "calendar")
 
@@ -417,6 +424,137 @@ class TestAutoScheduler:
         queue = getattr(sim._queue, "inner", sim._queue)
         assert isinstance(queue, CalendarQueue)
         assert queue._live_daemons >= 0
+
+
+class TestResolveBatch:
+    def test_default_is_auto(self, monkeypatch):
+        monkeypatch.delenv("REPRO_BATCH", raising=False)
+        assert resolve_batch(None) is AUTO_BATCH
+
+    @pytest.mark.parametrize(
+        "value", ["0", "off", "no", "false", "event", "per-event"]
+    )
+    def test_off_values(self, monkeypatch, value):
+        monkeypatch.setenv("REPRO_BATCH", value)
+        assert resolve_batch(None) is False
+
+    @pytest.mark.parametrize("value", ["1", "on", "batch"])
+    def test_on_values(self, monkeypatch, value):
+        monkeypatch.setenv("REPRO_BATCH", value)
+        assert resolve_batch(None) is True
+
+    def test_explicit_auto_value(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BATCH", "auto")
+        assert resolve_batch(None) is AUTO_BATCH
+
+    def test_argument_wins_over_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BATCH", "1")
+        assert resolve_batch(False) is False
+        monkeypatch.setenv("REPRO_BATCH", "0")
+        assert resolve_batch(True) is True
+        assert resolve_batch(AUTO_BATCH) is AUTO_BATCH
+
+
+class TestAutoBatch:
+    """Population-aware dispatch-mode promotion (``REPRO_BATCH=auto``).
+
+    Mirrors ``TestAutoScheduler``: tiny populations stay on the
+    per-event loop (schema-4 bench rows showed batching costs 13-21%
+    there), large populations promote to the batched loop once, and a
+    promoting run journals identically to both static modes.
+    """
+
+    def test_tiny_run_stays_per_event(self):
+        sim = Simulator(batch=AUTO_BATCH)
+        fired = []
+        for i in range(64):
+            sim.schedule(1 + i % 5, lambda: fired.append(sim.now))
+        sim.run()
+        assert len(fired) == 64
+        assert sim.batch_mode == "auto"
+        assert sim.batched is False
+        assert sim.batch_promotions == 0
+        assert sim.kernel_stats()["batch_policy"] == "auto"
+
+    def test_stress_population_promotes_once(self):
+        sim = Simulator(batch=AUTO_BATCH)
+        count = [0]
+        for i in range(AUTO_PROMOTE_THRESHOLD + 64):
+            sim.schedule(1 + (i % 7), lambda: count.__setitem__(0, count[0] + 1))
+        sim.run()
+        assert count[0] == AUTO_PROMOTE_THRESHOLD + 64
+        assert sim.batched is True
+        assert sim.batch_promotions == 1
+        assert sim.kernel_stats()["batch_promotions"] == 1
+
+    def test_promotion_runs_finalizers_once(self):
+        sim = Simulator(batch=AUTO_BATCH)
+        finals = []
+        sim.add_finalizer(lambda now: finals.append(now))
+        for i in range(AUTO_PROMOTE_THRESHOLD + 8):
+            sim.schedule(1 + (i % 3), lambda: None)
+        sim.run()
+        assert sim.batch_promotions == 1
+        assert len(finals) == 1
+
+    @pytest.mark.parametrize("scheduler", BACKENDS)
+    @pytest.mark.parametrize("seed", range(4))
+    def test_auto_matches_static_modes(self, scheduler, seed):
+        auto = _run_program(scheduler, AUTO_BATCH, seed)
+        assert auto == _run_program(scheduler, True, seed)
+        assert auto == _run_program(scheduler, False, seed)
+
+    def test_promoting_run_matches_static_modes(self):
+        """A workload crossing the threshold mid-run must journal
+        identically under auto, batched, and per-event dispatch."""
+
+        def drive(batch):
+            sim = Simulator(batch=batch)
+            rng = random.Random(42)
+            journal = []
+
+            def ramp():
+                journal.append((sim.now, "ramp"))
+                for _ in range(AUTO_PROMOTE_THRESHOLD + 256):
+                    delay = 1 + rng.randrange(40)
+                    sim.schedule(
+                        delay,
+                        lambda d=delay: journal.append((sim.now, d)),
+                        priority=rng.choice(PRIORITIES),
+                    )
+
+            sim.schedule(1, ramp)
+            sim.run()
+            journal.append(("end", sim.now, sim.events_dispatched))
+            return journal, sim.batch_promotions
+
+        auto, promotions = drive(AUTO_BATCH)
+        assert promotions == 1
+        assert auto == drive(True)[0] == drive(False)[0]
+
+    def test_promoting_bounded_run_respects_until(self):
+        sim = Simulator(batch=AUTO_BATCH)
+        fired = []
+        for i in range(AUTO_PROMOTE_THRESHOLD + 32):
+            sim.schedule(1 + (i % 50), lambda: fired.append(sim.now))
+        sim.run(until=10)
+        assert sim.batch_promotions == 1
+        assert sim.now == 10
+        assert all(t <= 10 for t in fired)
+        sim.run()
+        assert len(fired) == AUTO_PROMOTE_THRESHOLD + 32
+
+    def test_auto_composes_with_auto_scheduler(self):
+        sim = Simulator(scheduler="auto", batch=AUTO_BATCH)
+        count = [0]
+        for i in range(AUTO_PROMOTE_THRESHOLD + 64):
+            sim.schedule(1 + (i % 9), lambda: count.__setitem__(0, count[0] + 1))
+        sim.run()
+        assert count[0] == AUTO_PROMOTE_THRESHOLD + 64
+        assert sim.backend == "calendar"
+        assert sim.batched is True
+        assert sim.auto_promotions == 1
+        assert sim.batch_promotions == 1
 
 
 class TestChunkedQueueDrain:

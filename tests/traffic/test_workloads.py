@@ -4,6 +4,7 @@ import pytest
 
 from repro.errors import ConfigError
 from repro.traffic.accelerator import StreamAccelerator
+from repro.traffic.arrivals import OpenLoopMaster
 from repro.traffic.cpu import CpuCore
 from repro.traffic.workloads import WORKLOADS, make_workload
 
@@ -14,6 +15,7 @@ class TestRegistry:
             "memcpy", "stream_read", "stream_write", "matmul_stream",
             "fft_stride", "pointer_chase", "stencil", "latency_probe",
             "compute_mix", "video_scale", "hash_join", "spmv",
+            "open_loop_stream",
         }
         assert expected == set(WORKLOADS)
 
@@ -37,7 +39,14 @@ class TestInstantiation:
         master = make_workload(
             name, sim, port, base=0x100000, extent=1 << 20, seed=3, work=work
         )
-        expected_cls = CpuCore if spec.kind == "cpu" else StreamAccelerator
+        if name == "open_loop_stream":
+            # Accel-kind but not a closed-loop StreamAccelerator: its
+            # arrivals come from an external clock (see arrivals.py).
+            expected_cls = OpenLoopMaster
+        elif spec.kind == "cpu":
+            expected_cls = CpuCore
+        else:
+            expected_cls = StreamAccelerator
         assert isinstance(master, expected_cls)
         master.start()
         sim.run(until=2_000_000)
