@@ -38,7 +38,15 @@ _ALLOW_RE = re.compile(r"#\s*repro:\s*allow\[([A-Za-z0-9_,\s]+)\]")
 _MARKER_RE = re.compile(r"#\s*repro:\s*([a-z][a-z-]*)\s*(?:$|[^[])")
 
 #: Function anchors recognised on/above a ``def`` (or its decorators).
-FUNCTION_ANCHORS = ("hot", "telemetry-bind")
+#: ``claim-protocol`` marks a function whose shared-state writes go
+#: through an atomic claim (O_EXCL file, exclusive mkdir) -- see the
+#: CONC rules in :mod:`repro.checks.rules.conc`.
+FUNCTION_ANCHORS = ("hot", "telemetry-bind", "claim-protocol")
+
+#: Class anchors recognised on/above a ``class`` statement.
+#: ``ff-opt-out`` declares a regulator deliberately outside the
+#: fast-forward analytic contract (see :mod:`repro.checks.rules.ffc`).
+CLASS_ANCHORS = ("ff-opt-out",)
 
 
 @dataclass
@@ -46,6 +54,15 @@ class FunctionInfo:
     """One function definition plus its recognised anchors."""
 
     node: ast.AST  # FunctionDef | AsyncFunctionDef
+    qualname: str
+    anchors: Set[str] = field(default_factory=set)
+
+
+@dataclass
+class ClassInfo:
+    """One class definition plus its recognised anchors."""
+
+    node: ast.ClassDef
     qualname: str
     anchors: Set[str] = field(default_factory=set)
 
@@ -61,6 +78,7 @@ class ModuleContext:
     markers: Set[str]  #: module-level ``# repro: <marker>`` comments
     suppressions: Dict[int, Set[str]]  #: line -> allowed rule ids/families
     functions: List[FunctionInfo]
+    classes: List[ClassInfo] = field(default_factory=list)
 
     def source_line(self, line: int) -> str:
         if 1 <= line <= len(self.lines):
@@ -166,7 +184,7 @@ def _comment_tables(
             marker = _MARKER_RE.search(text)
             if marker:
                 name = marker.group(1)
-                if name in FUNCTION_ANCHORS:
+                if name in FUNCTION_ANCHORS or name in CLASS_ANCHORS:
                     anchors.setdefault(line, set()).add(name)
                 else:
                     markers.add(name)
@@ -218,6 +236,43 @@ def _collect_functions(
     return functions
 
 
+def _collect_classes(
+    tree: ast.Module, anchors_by_line: Dict[int, Set[str]]
+) -> List[ClassInfo]:
+    """All class defs with their qualnames and comment anchors.
+
+    Anchor binding mirrors :func:`_collect_functions`: the comment may
+    sit on the ``class`` line, on a decorator line, or on the line
+    directly above the first decorator/class line.
+    """
+    classes: List[ClassInfo] = []
+
+    def visit(node: ast.AST, prefix: str) -> None:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, ast.ClassDef):
+                qual = f"{prefix}{child.name}"
+                start = min(
+                    [child.lineno]
+                    + [d.lineno for d in child.decorator_list]
+                )
+                bound: Set[str] = set()
+                for line in range(start - 1, child.lineno + 1):
+                    bound.update(
+                        a for a in anchors_by_line.get(line, ())
+                        if a in CLASS_ANCHORS
+                    )
+                classes.append(ClassInfo(child, qual, bound))
+                visit(child, f"{qual}.")
+            elif not isinstance(child, (ast.FunctionDef,
+                                        ast.AsyncFunctionDef)):
+                visit(child, prefix)
+            else:
+                visit(child, f"{prefix}{child.name}.")
+
+    visit(tree, "")
+    return classes
+
+
 def build_context(path: str, source: Optional[str] = None) -> ModuleContext:
     """Parse one file into a :class:`ModuleContext`.
 
@@ -243,6 +298,7 @@ def build_context(path: str, source: Optional[str] = None) -> ModuleContext:
         markers=markers,
         suppressions=suppressions,
         functions=_collect_functions(tree, anchors),
+        classes=_collect_classes(tree, anchors),
     )
 
 
@@ -285,6 +341,26 @@ class LintResult:
         return [f for f in self.findings if f.severity == Severity.WARNING]
 
 
+def _lint_file_worker(path: str) -> Tuple[List[Finding], int]:
+    """Pool-worker entry: lint one file with the default rule set.
+
+    Module-level so it pickles by qualified name; each worker process
+    re-imports the rule packages on first use.  Returns the file's
+    live findings plus its inline-suppression count -- merging is
+    order-independent because the parent sorts the union.
+    """
+    ctx = build_context(path)
+    findings: List[Finding] = []
+    suppressed = 0
+    for rule_ in all_rules():
+        for finding in rule_.check(ctx):
+            if ctx.is_suppressed(finding.rule_id, finding.line):
+                suppressed += 1
+            else:
+                findings.append(finding)
+    return findings, suppressed
+
+
 class LintEngine:
     """Run a rule set over files, applying suppressions and a baseline.
 
@@ -300,22 +376,57 @@ class LintEngine:
         rules: Optional[Sequence[Rule]] = None,
         baseline: Optional[Dict[str, int]] = None,
     ) -> None:
+        self._default_rules = rules is None
         self.rules = list(rules) if rules is not None else all_rules()
         self.baseline = dict(baseline or {})
 
-    def run(self, paths: Sequence[str]) -> LintResult:
+    def _run_parallel(
+        self, files: Sequence[str], jobs: int
+    ) -> Optional[Tuple[List[Finding], int]]:
+        """Fan the per-file scans over a WorkerPool; ``None`` = fall back.
+
+        Only the default rule set can cross the process boundary (the
+        workers re-import it); a custom rule list stays serial.
+        """
+        if not self._default_rules or jobs < 2 or len(files) < 2:
+            return None
+        from repro.runner.pool import PoolUnavailable, WorkerPool
+
+        pool = WorkerPool(min(jobs, len(files)), _lint_file_worker)
+        try:
+            per_file = pool.map(list(files))
+        except PoolUnavailable:
+            return None
+        finally:
+            pool.close()
         raw: List[Finding] = []
         suppressed = 0
-        files = 0
-        for path in iter_python_files(paths):
-            ctx = build_context(path)
-            files += 1
-            for rule_ in self.rules:
-                for finding in rule_.check(ctx):
-                    if ctx.is_suppressed(finding.rule_id, finding.line):
-                        suppressed += 1
-                    else:
-                        raw.append(finding)
+        for findings, count in per_file:
+            raw.extend(findings)
+            suppressed += count
+        return raw, suppressed
+
+    def run(
+        self, paths: Sequence[str], jobs: Optional[int] = None
+    ) -> LintResult:
+        files_list = list(iter_python_files(paths))
+        parallel = self._run_parallel(files_list, jobs or 1)
+        if parallel is not None:
+            raw, suppressed = parallel
+            files = len(files_list)
+        else:
+            raw = []
+            suppressed = 0
+            files = 0
+            for path in files_list:
+                ctx = build_context(path)
+                files += 1
+                for rule_ in self.rules:
+                    for finding in rule_.check(ctx):
+                        if ctx.is_suppressed(finding.rule_id, finding.line):
+                            suppressed += 1
+                        else:
+                            raw.append(finding)
         raw.sort(key=lambda f: (f.path, f.line, f.col, f.rule_id))
         remaining = dict(self.baseline)
         live: List[Finding] = []

@@ -1,0 +1,203 @@
+"""Runtime differential harness for the fast-forward contract.
+
+The static FFC rules (:mod:`repro.checks.rules.ffc`) prove a
+regulator *declares* the analytic protocol; this harness proves the
+declaration is *honest*.  For every shipped regulator family that
+implements ``ff_horizon`` -- the token-bucket configuration of the
+tightly-coupled IP, the plain TC window, software MemGuard, and TDMA
+-- it runs a deterministic grid of open-loop streaming scenarios with
+``REPRO_FASTFORWARD`` off and on and fails unless the full result
+tables are byte-identical.  Engagement is asserted too: at least one
+point per family must actually macro-step (``ff_regions > 0``),
+otherwise the identity check silently passes on a detector that
+declines everything.
+
+The grid is a *fuzz by enumeration*: per family it varies budget
+share, window/period granularity, stream fan-in, and the platform
+seed.  Everything is fixed at authoring time -- no wall clock, no
+global ``random`` -- so a divergence is reproducible from the
+printed point label alone.
+
+Exposed as ``repro check ffdiff`` (``--quick`` runs one point per
+family, the CI default runs the full grid).
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+from dataclasses import dataclass
+from typing import Iterator, List, Optional, TextIO, Tuple
+
+from repro.regulation.factory import RegulatorSpec
+
+__all__ = ["DiffPoint", "iter_points", "run_point", "run_ffdiff"]
+
+#: Link peak, bytes per cycle (matches the standard platform presets).
+_PEAK = 16.0
+
+#: Horizon of each open-loop scenario (cycles).
+_HORIZON = 40_000
+
+#: Per-family parameter grids: (share, granularity_cycles, streams, seed).
+_GRID = {
+    "token_bucket": (
+        (0.01, 1024, 1, 3),
+        (0.05, 512, 2, 5),
+    ),
+    "tc_window": (
+        (0.01, 1024, 1, 3),
+        (0.005, 2048, 2, 7),
+    ),
+    "memguard": (
+        (0.01, 2048, 1, 3),
+        (0.02, 4096, 2, 11),
+    ),
+    "tdma": (
+        (0.25, 256, 1, 3),
+        (0.25, 512, 2, 5),
+    ),
+}
+
+
+@dataclass(frozen=True)
+class DiffPoint:
+    """One regulator configuration under differential test."""
+
+    family: str
+    label: str
+    spec: RegulatorSpec
+    streams: int
+    seed: int
+
+
+def _spec_for(family: str, share: float, granularity: int) -> RegulatorSpec:
+    budget = max(1, round(share * _PEAK * granularity))
+    if family == "token_bucket":
+        return RegulatorSpec(
+            kind="tightly_coupled",
+            window_cycles=granularity,
+            budget_bytes=budget,
+            carryover_windows=2,
+        )
+    if family == "tc_window":
+        return RegulatorSpec(
+            kind="tightly_coupled",
+            window_cycles=granularity,
+            budget_bytes=budget,
+        )
+    if family == "memguard":
+        return RegulatorSpec(
+            kind="memguard",
+            period_cycles=granularity,
+            budget_bytes=budget,
+        )
+    if family == "tdma":
+        # A frame larger than the stream count leaves empty slots --
+        # windows where *every* stream is denied -- which is exactly
+        # the all-blocked region shape the engine macro-steps over.
+        return RegulatorSpec(
+            kind="tdma", window_cycles=granularity, tdma_slots=4
+        )
+    raise ValueError(f"unknown ffdiff family {family!r}")
+
+
+def iter_points(quick: bool = False) -> Iterator[DiffPoint]:
+    """The deterministic test grid, one :class:`DiffPoint` at a time."""
+    for family in sorted(_GRID):
+        rows = _GRID[family][:1] if quick else _GRID[family]
+        for share, granularity, streams, seed in rows:
+            yield DiffPoint(
+                family=family,
+                label=(
+                    f"{family}[share={share},gran={granularity},"
+                    f"x{streams},seed={seed}]"
+                ),
+                spec=_spec_for(family, share, granularity),
+                streams=streams,
+                seed=seed,
+            )
+
+
+def _config(point: DiffPoint):
+    """Open-loop streaming platform config for one point."""
+    from repro.soc.platform import MasterSpec, PlatformConfig
+
+    masters = tuple(
+        MasterSpec(
+            name=f"olp{i}",
+            workload="open_loop_stream",
+            region_base=0x1000_0000 + i * (4 << 20),
+            region_extent=4 << 20,
+            regulator=point.spec,
+        )
+        for i in range(point.streams)
+    )
+    return PlatformConfig(masters=masters, seed=point.seed)
+
+
+def _run_table(point: DiffPoint, fastforward: bool) -> Tuple[str, int]:
+    """One run of ``point`` -> ``(summary json, ff_regions)``."""
+    from repro.sim.kernel import FASTFORWARD_ENV
+    from repro.soc.experiment import PlatformResult
+    from repro.soc.platform import Platform
+
+    # The harness *sets* the fast-forward knob for the child runs and
+    # must restore whatever the caller had.  # repro: allow[DET003]
+    saved = os.environ.get(FASTFORWARD_ENV)
+    os.environ[FASTFORWARD_ENV] = "1" if fastforward else "0"
+    try:
+        platform = Platform(_config(point))
+        elapsed = platform.run(_HORIZON)
+        table = PlatformResult(platform, elapsed).summary().to_json()
+        regions = platform.sim.kernel_stats().get("ff_regions", 0)
+    finally:
+        if saved is None:
+            os.environ.pop(FASTFORWARD_ENV, None)
+        else:
+            os.environ[FASTFORWARD_ENV] = saved
+    return table, regions
+
+
+def run_point(point: DiffPoint) -> Tuple[bool, int]:
+    """Differential-test one point -> ``(identical, ff_regions)``."""
+    reference, _ = _run_table(point, fastforward=False)
+    table, regions = _run_table(point, fastforward=True)
+    return table == reference, regions
+
+
+def run_ffdiff(
+    quick: bool = False, stream: Optional[TextIO] = None
+) -> int:
+    """Run the grid; print one line per point; return the exit code.
+
+    Exit 0 = every point byte-identical and every family engaged the
+    engine at least once; 1 otherwise.
+    """
+    if stream is None:
+        stream = sys.stdout
+    failures = 0
+    engaged: dict = {}
+    families: List[str] = []
+    for point in iter_points(quick):
+        if point.family not in families:
+            families.append(point.family)
+        identical, regions = run_point(point)
+        engaged[point.family] = engaged.get(point.family, 0) + regions
+        status = "identical" if identical else "DIVERGED"
+        print(
+            f"ffdiff: {point.label}: {status}, "
+            f"{regions} region(s) macro-stepped",
+            file=stream,
+        )
+        if not identical:
+            failures += 1
+    for family in families:
+        if engaged.get(family, 0) == 0:
+            print(
+                f"ffdiff: FAIL: {family} never engaged the fast-forward "
+                "engine (identity check is vacuous)",
+                file=stream,
+            )
+            failures += 1
+    return 1 if failures else 0

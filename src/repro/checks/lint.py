@@ -24,7 +24,9 @@ __all__ = ["lint_paths", "format_report", "run_lint"]
 
 
 def lint_paths(
-    paths: Sequence[str], baseline_path: Optional[str] = None
+    paths: Sequence[str],
+    baseline_path: Optional[str] = None,
+    jobs: Optional[int] = None,
 ) -> LintResult:
     """Lint ``paths`` with every registered rule.
 
@@ -32,9 +34,11 @@ def lint_paths(
         paths: Files and/or directories.
         baseline_path: Baseline file; ``None`` uses the default
             location (an absent file means an empty baseline).
+        jobs: Scan with this many pool workers (serial fallback when
+            pools cannot run); ``None``/``1`` stays serial.
     """
     baseline = load_baseline(baseline_path or DEFAULT_BASELINE)
-    return LintEngine(baseline=baseline).run(paths)
+    return LintEngine(baseline=baseline).run(paths, jobs=jobs)
 
 
 def format_report(result: LintResult, fmt: str = "human") -> str:
@@ -79,6 +83,7 @@ def run_lint(
     fmt: str = "human",
     update_baseline: bool = False,
     stream: Optional[TextIO] = None,
+    jobs: Optional[int] = None,
 ) -> int:
     """Full CLI behaviour; returns the process exit code.
 
@@ -88,7 +93,7 @@ def run_lint(
     """
     if stream is None:
         stream = sys.stdout  # resolved per call so capture hooks see it
-    result = lint_paths(paths, baseline_path)
+    result = lint_paths(paths, baseline_path, jobs=jobs)
     if update_baseline:
         target = baseline_path or DEFAULT_BASELINE
         write_baseline(target, result.findings + result.baselined)

@@ -1,0 +1,184 @@
+"""CONC: process- and async-boundary concurrency discipline.
+
+PR 8 made spec execution cross the fork boundary (``WorkerPool``) and
+PR 9 put an asyncio serve loop in front of it.  Both boundaries have
+invisible failure modes that a per-module linter cannot see, because
+the offending statement is fine *where it is written* and wrong only
+because of *where it can execute*:
+
+* ``CONC001`` -- a module global rebound in code reachable from a pool
+  worker function mutates the **worker's** copy; the parent process
+  never observes the write and the program silently forks state.
+* ``CONC002`` -- a field on a ``RunSpec``-shipped dataclass whose type
+  cannot cross ``pickle`` (callables, IO handles, locks, threads,
+  generators) breaks submission at runtime, long after the field was
+  added.
+* ``CONC003`` -- a blocking call (``time.sleep``, ``subprocess``,
+  synchronous ``open``) reachable from an ``async def`` stalls every
+  connection sharing the event loop.
+* ``CONC004`` -- a filesystem mutation reachable from worker code
+  without the single-flight claim protocol races its siblings; two
+  workers list-then-create the same path and one clobbers the other.
+  A function whose writes go through an atomic claim (``O_EXCL``
+  open, exclusive ``mkdir``) opts in with ``# repro: claim-protocol``.
+
+The location-bound facts (which statements write globals, which calls
+block, which calls mutate the filesystem) are pre-computed during the
+per-file scan (:func:`repro.checks.graph.extract_symbols`); these
+rules select from them by call-graph reachability.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Set, Tuple
+
+from repro.checks.findings import Finding, Severity
+from repro.checks.graph import (
+    ClassSym,
+    GraphRule,
+    ProjectIndex,
+    graph_rule,
+)
+
+__all__ = ["analysis_summary", "shipped_dataclasses"]
+
+#: Final annotation components that cannot cross ``pickle``.
+_UNPICKLABLE = {
+    "Callable", "IO", "TextIO", "BinaryIO", "TextIOWrapper",
+    "socket", "Socket", "Lock", "RLock", "Semaphore", "Condition",
+    "Event", "Thread", "Generator", "Iterator", "AsyncIterator",
+    "ModuleType", "FrameType", "Executor", "ProcessPoolExecutor",
+    "ThreadPoolExecutor",
+}
+
+#: Dataclass names treated as crossing the process boundary.
+_SHIPPED_ROOTS = ("RunSpec",)
+
+
+def _worker_set(index: ProjectIndex) -> Set[str]:
+    roots = index.worker_roots()
+    return index.reachable(roots)
+
+
+def _async_set(index: ProjectIndex) -> Set[str]:
+    return index.reachable(index.async_roots())
+
+
+@graph_rule
+class WorkerGlobalMutationRule(GraphRule):
+    """Module-global rebinds in pool-worker-reachable code."""
+
+    id = "CONC001"
+    family = "CONC"
+    severity = Severity.ERROR
+    description = "module global mutated across the fork boundary"
+
+    def check(self, index: ProjectIndex) -> Iterable[Tuple[Finding, bool]]:
+        workers = _worker_set(index)
+        for qual in sorted(workers):
+            for finding in index.functions[qual].global_writes:
+                yield finding, False
+
+
+def shipped_dataclasses(index: ProjectIndex) -> List[ClassSym]:
+    """Dataclasses reachable from a ``RunSpec`` through field types.
+
+    BFS over dataclass-typed fields starting from every project
+    dataclass named like a shipped root; everything visited crosses
+    the pickle boundary when a spec is submitted to the pool.
+    """
+    queue = [
+        cls for cls in index.classes.values()
+        if cls.is_dataclass and cls.name in _SHIPPED_ROOTS
+    ]
+    seen = {cls.qualname for cls in queue}
+    out: List[ClassSym] = []
+    while queue:
+        cls = queue.pop(0)
+        out.append(cls)
+        for _name, ann, _line, _src in cls.fields:
+            resolved = index.resolve_class(cls.module, ann) if ann else None
+            if resolved and resolved not in seen:
+                nxt = index.classes[resolved]
+                if nxt.is_dataclass:
+                    seen.add(resolved)
+                    queue.append(nxt)
+    return sorted(out, key=lambda c: c.qualname)
+
+
+@graph_rule
+class UnpicklableSpecFieldRule(GraphRule):
+    """Non-picklable field types on pool-shipped dataclasses."""
+
+    id = "CONC002"
+    family = "CONC"
+    severity = Severity.ERROR
+    description = "non-picklable field on a RunSpec-shipped dataclass"
+
+    def check(self, index: ProjectIndex) -> Iterable[Tuple[Finding, bool]]:
+        for cls in shipped_dataclasses(index):
+            for name, ann, line, source in cls.fields:
+                tail = ann.rsplit(".", 1)[-1] if ann else ""
+                if tail not in _UNPICKLABLE:
+                    continue
+                finding = Finding(
+                    rule_id=self.id,
+                    severity=self.severity,
+                    path=cls.path,
+                    line=line,
+                    col=0,
+                    message=(
+                        f"field {cls.name}.{name}: {ann} cannot cross the "
+                        "pickle boundary when the spec ships to a pool "
+                        "worker; store a name/key and rebind in the worker"
+                    ),
+                    source=source,
+                )
+                yield finding, index.is_suppressed(cls.module, self.id, line)
+
+
+@graph_rule
+class AsyncBlockingCallRule(GraphRule):
+    """Blocking calls reachable from asyncio handlers."""
+
+    id = "CONC003"
+    family = "CONC"
+    severity = Severity.ERROR
+    description = "blocking call reachable from an async handler"
+
+    def check(self, index: ProjectIndex) -> Iterable[Tuple[Finding, bool]]:
+        async_set = _async_set(index)
+        for qual in sorted(async_set):
+            for finding in index.functions[qual].blocking_calls:
+                yield finding, False
+
+
+@graph_rule
+class WorkerUnclaimedWriteRule(GraphRule):
+    """Worker-reachable filesystem mutation without the claim protocol."""
+
+    id = "CONC004"
+    family = "CONC"
+    severity = Severity.ERROR
+    description = "worker-reachable filesystem write without claim protocol"
+
+    def check(self, index: ProjectIndex) -> Iterable[Tuple[Finding, bool]]:
+        workers = _worker_set(index)
+        for qual in sorted(workers):
+            fn = index.functions[qual]
+            if "claim-protocol" in fn.anchors:
+                continue
+            for finding in fn.fs_writes:
+                yield finding, False
+
+
+def analysis_summary(index: ProjectIndex) -> Dict[str, object]:
+    """The ``conc`` block of the deep report (``--format json``)."""
+    worker_roots = sorted(index.worker_roots())
+    async_roots = sorted(index.async_roots())
+    return {
+        "worker_roots": worker_roots,
+        "worker_reachable": len(index.reachable(worker_roots)),
+        "async_roots": len(async_roots),
+        "async_reachable": len(index.reachable(async_roots)),
+    }

@@ -1,0 +1,208 @@
+"""FFC: the fast-forward analytic contract on regulator classes.
+
+The macro-stepping engine (:mod:`repro.sim.fastforward`) is only
+sound when every regulator in a blocked region answers the analytic
+protocol honestly: ``ff_horizon(now)`` bounds the macro-step,
+``ff_advance_bulk(now)`` settles internal clocks to exactly the state
+a per-cycle walk would have left.  A regulator that silently falls
+back to the base class's ``None`` horizon is *correct* (the region
+stays event-accurate) but invisibly cripples the optimisation; a
+regulator with a misdeclared signature is silently never called.
+These rules make the contract explicit:
+
+* ``FFC001`` -- a ``BandwidthRegulator`` subclass neither implements
+  ``ff_horizon`` (itself or via an ancestor other than the base) nor
+  carries a ``# repro: ff-opt-out`` anchor on its ``class`` line.
+  Opting out is fine -- PREM's phase admission depends on traffic,
+  not time alone -- but it must be a reviewed decision, not a
+  default.
+* ``FFC002`` -- an ``ff_horizon`` / ``ff_advance_bulk`` /
+  ``ff_quiescent`` override whose signature deviates from the
+  protocol (exactly ``(self, now)``, synchronous, a plain method).
+  The engine calls these positionally once per region; a deviant
+  override would raise -- or worse, bind ``now`` to the wrong
+  parameter.
+* ``FFC003`` -- ``ff_advance_bulk`` without ``ff_horizon``: the
+  settle half of the contract is dead code when the horizon half
+  never admits a macro-step.
+
+The static half is paired with a runtime differential harness
+(:mod:`repro.checks.ffdiff`) that executes each shipped regulator
+FF-on vs FF-off and fails on any table divergence.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.checks.findings import Finding, Severity
+from repro.checks.graph import (
+    ClassSym,
+    GraphRule,
+    ProjectIndex,
+    graph_rule,
+)
+
+__all__ = ["analysis_summary", "regulator_classes"]
+
+#: The root of the regulator hierarchy (matched by class name so
+#: fixture projects can define their own base).
+_BASE_NAME = "BandwidthRegulator"
+
+#: Methods whose signatures the engine relies on positionally.
+_CONTRACT_METHODS = ("ff_horizon", "ff_advance_bulk", "ff_quiescent")
+
+
+def regulator_classes(index: ProjectIndex) -> List[ClassSym]:
+    """Concrete regulator classes: subclasses of the base, not it."""
+    out: List[ClassSym] = []
+    for cls in sorted(index.classes.values(), key=lambda c: c.qualname):
+        if cls.name == _BASE_NAME:
+            continue
+        ancestors = index.mro(cls.qualname)[1:]
+        named = any(index.classes[a].name == _BASE_NAME for a in ancestors)
+        raw = any(
+            base.rsplit(".", 1)[-1] == _BASE_NAME for base in cls.bases
+        )
+        if named or raw:
+            out.append(cls)
+    return out
+
+
+def _contract_impl(index: ProjectIndex, cls: ClassSym, method: str
+                   ) -> Optional[str]:
+    """Qualname of ``method`` defined outside the base, else ``None``."""
+    for ancestor in index.mro(cls.qualname):
+        asym = index.classes[ancestor]
+        if asym.name == _BASE_NAME:
+            continue
+        if method in asym.methods:
+            return asym.methods[method]
+    return None
+
+
+def _class_finding(rule: GraphRule, cls: ClassSym, message: str) -> Finding:
+    return Finding(
+        rule_id=rule.id,
+        severity=rule.severity,
+        path=cls.path,
+        line=cls.line,
+        col=0,
+        message=message,
+        source=cls.source,
+    )
+
+
+@graph_rule
+class MissingContractRule(GraphRule):
+    """Regulator with neither ``ff_horizon`` nor an explicit opt-out."""
+
+    id = "FFC001"
+    family = "FFC"
+    severity = Severity.ERROR
+    description = "Regulator subclass missing ff contract and opt-out"
+
+    def check(self, index: ProjectIndex) -> Iterable[Tuple[Finding, bool]]:
+        for cls in regulator_classes(index):
+            if "ff-opt-out" in cls.anchors:
+                continue
+            if _contract_impl(index, cls, "ff_horizon"):
+                continue
+            finding = _class_finding(
+                self, cls,
+                f"{cls.name} neither implements ff_horizon nor opts out; "
+                "implement the analytic contract or mark the class with "
+                "'# repro: ff-opt-out' and a justification",
+            )
+            yield finding, index.is_suppressed(cls.module, self.id, cls.line)
+
+
+@graph_rule
+class ContractSignatureRule(GraphRule):
+    """FF protocol override with a deviant signature."""
+
+    id = "FFC002"
+    family = "FFC"
+    severity = Severity.ERROR
+    description = "ff_horizon/ff_advance_bulk signature deviates from (self, now)"
+
+    def check(self, index: ProjectIndex) -> Iterable[Tuple[Finding, bool]]:
+        for cls in sorted(index.classes.values(), key=lambda c: c.qualname):
+            for method in _CONTRACT_METHODS:
+                qual = cls.methods.get(method)
+                if qual is None:
+                    continue
+                fn = index.functions[qual]
+                problems: List[str] = []
+                if "staticmethod" in fn.decorators or \
+                        "classmethod" in fn.decorators:
+                    problems.append("must be a plain instance method")
+                elif fn.params != ("self", "now"):
+                    got = ", ".join(fn.params) or "<none>"
+                    problems.append(
+                        f"parameters must be exactly (self, now), got ({got})"
+                    )
+                if fn.is_async:
+                    problems.append("must be synchronous")
+                if not problems:
+                    continue
+                finding = Finding(
+                    rule_id=self.id,
+                    severity=self.severity,
+                    path=cls.path,
+                    line=fn.line,
+                    col=0,
+                    message=(
+                        f"{cls.name}.{method}: " + "; ".join(problems) +
+                        " (the fast-forward engine calls it positionally)"
+                    ),
+                )
+                yield finding, index.is_suppressed(cls.module, self.id,
+                                                  fn.line)
+
+
+@graph_rule
+class OrphanAdvanceRule(GraphRule):
+    """``ff_advance_bulk`` without the horizon half of the contract."""
+
+    id = "FFC003"
+    family = "FFC"
+    severity = Severity.WARNING
+    description = "ff_advance_bulk implemented without ff_horizon"
+
+    def check(self, index: ProjectIndex) -> Iterable[Tuple[Finding, bool]]:
+        for cls in regulator_classes(index):
+            advance = _contract_impl(index, cls, "ff_advance_bulk")
+            if advance is None:
+                continue
+            if _contract_impl(index, cls, "ff_horizon"):
+                continue
+            fn = index.functions[advance]
+            finding = _class_finding(
+                self, cls,
+                f"{cls.name} implements ff_advance_bulk (line {fn.line}) "
+                "but not ff_horizon; the engine never admits a macro-step "
+                "for it, so the settle path is dead",
+            )
+            yield finding, index.is_suppressed(cls.module, self.id, cls.line)
+
+
+def analysis_summary(index: ProjectIndex) -> Dict[str, object]:
+    """The ``ffc`` block of the deep report (``--format json``)."""
+    regulators = regulator_classes(index)
+    implemented = []
+    opted_out = []
+    missing = []
+    for cls in regulators:
+        if _contract_impl(index, cls, "ff_horizon"):
+            implemented.append(cls.name)
+        elif "ff-opt-out" in cls.anchors:
+            opted_out.append(cls.name)
+        else:
+            missing.append(cls.name)
+    return {
+        "regulators": sorted(c.name for c in regulators),
+        "implemented": sorted(implemented),
+        "opted_out": sorted(opted_out),
+        "missing": sorted(missing),
+    }

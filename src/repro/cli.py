@@ -275,7 +275,22 @@ def cmd_check(args) -> int:
             baseline_path=args.baseline,
             fmt=args.format,
             update_baseline=args.write_baseline,
+            jobs=args.jobs,
         )
+    if args.check_command == "deep":
+        from repro.checks.deep import run_deep_cli
+
+        return run_deep_cli(
+            args.paths or ["src"],
+            baseline_path=args.baseline,
+            fmt=args.format,
+            update_baseline=args.write_baseline,
+            jobs=args.jobs,
+        )
+    if args.check_command == "ffdiff":
+        from repro.checks.ffdiff import run_ffdiff
+
+        return run_ffdiff(quick=args.quick)
     if args.check_command == "sanitize":
         return _cmd_check_sanitize(args)
     raise ReproError(f"unhandled check subcommand {args.check_command!r}")
@@ -620,6 +635,31 @@ def build_parser() -> argparse.ArgumentParser:
                    help="record current findings as the new baseline")
     c.add_argument("--list-rules", action="store_true",
                    help="print the rule catalogue and exit")
+    c.add_argument("--jobs", type=int, default=None,
+                   help="scan files with N pool workers (default: serial)")
+    c.set_defaults(fn=cmd_check)
+
+    c = check_sub.add_parser(
+        "deep",
+        help="whole-program analyses: hot-set propagation, CONC, FFC",
+    )
+    c.add_argument("paths", nargs="*", help="files/directories (default: src)")
+    c.add_argument("--format", default="human",
+                   choices=["human", "json", "sarif"])
+    c.add_argument("--baseline", default=None,
+                   help="baseline file (default .repro-deep-baseline.json)")
+    c.add_argument("--write-baseline", action="store_true",
+                   help="record current findings as the new baseline")
+    c.add_argument("--jobs", type=int, default=None,
+                   help="scan files with N pool workers (default: auto)")
+    c.set_defaults(fn=cmd_check)
+
+    c = check_sub.add_parser(
+        "ffdiff",
+        help="fast-forward differential harness over shipped regulators",
+    )
+    c.add_argument("--quick", action="store_true",
+                   help="one grid point per regulator family")
     c.set_defaults(fn=cmd_check)
 
     c = check_sub.add_parser(

@@ -159,16 +159,26 @@ class FlightRecorder:
     # ------------------------------------------------------------------
     # dumping
     # ------------------------------------------------------------------
+    # repro: claim-protocol -- the exclusive mkdir *is* the claim
     def _next_dump_dir(self) -> str:
-        """First free ``dump_<k>`` directory (deterministic naming)."""
+        """First free ``dump_<k>`` directory (deterministic naming).
+
+        The slot is claimed with an exclusive ``mkdir`` instead of
+        list-then-create: two recorders sharing an ``out_dir`` (e.g.
+        parallel serve batches) race the listing, but only one of two
+        concurrent ``mkdir`` calls on the same path can succeed, so
+        the loser simply probes the next index.
+        """
         os.makedirs(self.out_dir, exist_ok=True)
-        existing = set(os.listdir(self.out_dir))
         k = 0
-        while f"dump_{k:03d}" in existing:
-            k += 1
-        path = os.path.join(self.out_dir, f"dump_{k:03d}")
-        os.makedirs(path)
-        return path
+        while True:
+            path = os.path.join(self.out_dir, f"dump_{k:03d}")
+            try:
+                os.mkdir(path)
+            except FileExistsError:
+                k += 1
+                continue
+            return path
 
     def _dump(self, violation: SloViolation) -> None:
         assert self._sampler is not None

@@ -127,6 +127,7 @@ class ProbeSampler:
     # ------------------------------------------------------------------
     # sampling (runs once per period; allocation-free)
     # ------------------------------------------------------------------
+    # repro: hot -- one ring-snapshot per sample period, every period
     def _tick(self) -> None:
         if self._stopped:
             return

@@ -78,6 +78,7 @@ from repro.axi.txn import Transaction
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.axi.interconnect import Interconnect
+    from repro.axi.port import MasterPort
     from repro.dram.controller import DramController
     from repro.traffic.arrivals import OpenLoopMaster
 
@@ -223,7 +224,7 @@ class FastForwardEngine:
         # Full port-population audit: nothing in flight anywhere, and
         # every non-empty port is regulator-blocked with a live retry.
         expected = len(pend)
-        blocked: List = []
+        blocked: List["MasterPort"] = []
         for port in ic.ports:
             if port._outstanding:
                 return None
@@ -327,8 +328,9 @@ class FastForwardEngine:
             stream._arrived += count
             nbytes = stream.config.burst_len * stream.config.bytes_per_beat
             # Same first-creation order Master.issue uses.
-            stream.stats.counter("issued").add(count)
-            stream.stats.counter("issued_bytes").add(count * nbytes)
+            counter = stream.stats.counter
+            counter("issued").add(count)
+            counter("issued_bytes").add(count * nbytes)
             port = stream.port
             port._stat_submitted.add(count)
             port._tm_issued.inc(count)
@@ -410,6 +412,7 @@ class FastForwardEngine:
             if not stream._refill():
                 return count, t_last, None
 
+    # repro: hot -- one iteration per merged-stream arrival
     def _walk_merged(
         self,
         pend: List[Tuple[int, int]],
@@ -450,8 +453,9 @@ class FastForwardEngine:
                 qos=0,
                 created=t,
             )
-            if port.config.qos:
-                txn.qos = port.config.qos
+            qos = port.config.qos
+            if qos:
+                txn.qos = qos
             txn.issued = t
             port._queues[False].append(txn)
             emitted[index] += 1

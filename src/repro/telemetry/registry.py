@@ -362,6 +362,10 @@ def get_registry() -> MetricsRegistry:
     """The process-wide default registry (created on first use)."""
     global _default
     if _default is None:
+        # Each process owns its own lazily-created singleton: a pool
+        # worker building one is correct isolation, not lost state --
+        # worker-side counters are folded into the returned summary,
+        # never read back through this global.  # repro: allow[CONC001]
         _default = MetricsRegistry()
     return _default
 

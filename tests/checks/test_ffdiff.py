@@ -1,0 +1,51 @@
+"""Differential fast-forward harness: grid shape and byte-identity."""
+
+import io
+
+import pytest
+
+from repro.checks.ffdiff import iter_points, run_ffdiff, run_point
+from repro.cli import main
+
+FAMILIES = ("memguard", "tc_window", "tdma", "token_bucket")
+
+
+class TestGrid:
+    def test_full_grid_covers_every_family(self):
+        points = list(iter_points())
+        assert tuple(sorted({p.family for p in points})) == FAMILIES
+        for family in FAMILIES:
+            assert sum(1 for p in points if p.family == family) >= 2
+
+    def test_quick_grid_one_point_per_family(self):
+        points = list(iter_points(quick=True))
+        assert [p.family for p in points] == list(FAMILIES)
+
+    def test_labels_are_unique_and_reproducible(self):
+        labels = [p.label for p in iter_points()]
+        assert len(labels) == len(set(labels))
+        assert labels == [p.label for p in iter_points()]
+
+
+class TestIdentity:
+    @pytest.mark.parametrize(
+        "point", list(iter_points(quick=True)), ids=lambda p: p.family
+    )
+    def test_quick_point_is_byte_identical_and_engages(self, point):
+        identical, regions = run_point(point)
+        assert identical, f"{point.label} diverged under fast-forward"
+        assert regions > 0, f"{point.label} never macro-stepped"
+
+
+class TestCli:
+    def test_quick_run_exits_zero(self):
+        stream = io.StringIO()
+        assert run_ffdiff(quick=True, stream=stream) == 0
+        out = stream.getvalue()
+        for family in FAMILIES:
+            assert f"ffdiff: {family}[" in out
+        assert "DIVERGED" not in out
+
+    def test_cli_wiring(self, capsys):
+        assert main(["check", "ffdiff", "--quick"]) == 0
+        assert "identical" in capsys.readouterr().out
